@@ -1,0 +1,281 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section V). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment at a reduced
+// scale per iteration (the -bench harness needs iterations to be
+// seconds, not minutes); `go run ./cmd/d3l exp -id all -scale paper`
+// runs the full-size sweep. Environment generation and index builds
+// are hoisted out of the timed loop where the experiment itself only
+// measures query-side work.
+package d3l_test
+
+import (
+	"testing"
+
+	"d3l/internal/experiments"
+)
+
+// benchScale is the per-iteration experiment size.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Label:           "bench",
+		SyntheticBases:  8,
+		SyntheticTables: 80,
+		RealInstances:   3,
+		RealTablesPer:   12,
+		RealMinEntities: 40,
+		RealMaxEntities: 90,
+		Targets:         8,
+		Ks:              []int{5, 10, 20},
+		JoinKs:          []int{5, 10},
+		LargerSteps:     []int{40, 80},
+		SearchKs:        []int{5, 20},
+		Seed:            42,
+		CandidateBudget: 64,
+	}
+}
+
+func benchSynthEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewSyntheticEnv(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.D3L(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.TUS(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.Aurum(); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func benchRealEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewRealEnv(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.D3L(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.TUS(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.Aurum(); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkFig2RepoStats regenerates Figure 2 (repository statistics).
+func BenchmarkFig2RepoStats(b *testing.B) {
+	synth := benchSynthEnv(b)
+	real := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(synth, real); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIExample regenerates Table I (example pair distances on
+// the Figure 1 fixture), including the fixture index build.
+func BenchmarkTableIExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp1IndividualEvidence regenerates Figure 3 (per-evidence
+// precision/recall on SmallerReal). Builds one engine per evidence
+// type per iteration, as the experiment requires.
+func BenchmarkExp1IndividualEvidence(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp1(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp2SyntheticPR regenerates Figure 4 (comparative P/R on
+// Synthetic).
+func BenchmarkExp2SyntheticPR(b *testing.B) {
+	env := benchSynthEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp2(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp3SmallerRealPR regenerates Figure 5 (comparative P/R on
+// SmallerReal).
+func BenchmarkExp3SmallerRealPR(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp4IndexingTime regenerates Figure 6a (indexing time vs
+// lake size); index building is the measured work, so it stays inside
+// the loop.
+func BenchmarkExp4IndexingTime(b *testing.B) {
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp4(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp5SearchTimeSynthetic regenerates Figure 6b (search time
+// vs answer size on Synthetic).
+func BenchmarkExp5SearchTimeSynthetic(b *testing.B) {
+	env := benchSynthEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp6SearchTimeSmallerReal regenerates Figure 6c (search time
+// vs answer size on SmallerReal).
+func BenchmarkExp6SearchTimeSmallerReal(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp6(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp7SpaceOverhead regenerates Table II (index space
+// overhead); builds all three systems on three repositories per
+// iteration.
+func BenchmarkExp7SpaceOverhead(b *testing.B) {
+	synth := benchSynthEnv(b)
+	real := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp7(synth, real); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp8CoverageSynthetic regenerates Figure 7a (target coverage
+// on Synthetic, with and without join paths).
+func BenchmarkExp8CoverageSynthetic(b *testing.B) {
+	env := benchSynthEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp8(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp9AttrPrecisionSynthetic regenerates Figure 7b (attribute
+// precision on Synthetic, with and without join paths).
+func BenchmarkExp9AttrPrecisionSynthetic(b *testing.B) {
+	env := benchSynthEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp9(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp10CoverageSmallerReal regenerates Figure 8a (target
+// coverage on SmallerReal, with and without join paths).
+func BenchmarkExp10CoverageSmallerReal(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp10(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp11AttrPrecisionSmallerReal regenerates Figure 8b
+// (attribute precision on SmallerReal, with and without join paths).
+func BenchmarkExp11AttrPrecisionSmallerReal(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExp11(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightTraining regenerates the Eq. 3 weight fit (Section
+// III-D: logistic regression by coordinate descent over labelled
+// pairs).
+func BenchmarkWeightTraining(b *testing.B) {
+	env := benchSynthEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TrainedWeightsReport(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWeighting measures the CCDF-vs-uniform weighting
+// ablation (DESIGN.md design choice: the Eq. 2 weighting scheme).
+func BenchmarkAblationWeighting(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationWeighting(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling measures the extent-sampling ablation
+// (DESIGN.md design choice: bounded profiling cost).
+func BenchmarkAblationSampling(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationSampling(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLeaveOneOut measures the leave-one-evidence-out
+// ablation (DESIGN.md design choice: five evidence types).
+func BenchmarkAblationLeaveOneOut(b *testing.B) {
+	env := benchRealEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationEvidencePairs(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

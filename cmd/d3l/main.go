@@ -1,0 +1,305 @@
+// Command d3l is the CLI for the D3L dataset-discovery library: it
+// generates evaluation lakes, indexes CSV directories, answers top-k
+// discovery queries (with or without join augmentation), and re-runs
+// every experiment of the paper's evaluation.
+//
+// Usage:
+//
+//	d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
+//	d3l query    -dir DIR -target FILE.csv -k K [-joins]
+//	d3l explain  -dir DIR -target FILE.csv -table NAME
+//	d3l stats    -dir DIR
+//	d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d3l"
+	"d3l/internal/datagen"
+	"d3l/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "d3l: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d3l:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
+  d3l query    -dir DIR -target FILE.csv -k K [-joins]
+  d3l explain  -dir DIR -target FILE.csv -table NAME
+  d3l stats    -dir DIR
+  d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "synthetic", "lake kind: synthetic, real, larger")
+	out := fs.String("out", "", "output directory")
+	tables := fs.Int("tables", 0, "table count (0 = default)")
+	seed := fs.Uint64("seed", 42, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	var lake *d3l.Lake
+	var err error
+	switch *kind {
+	case "synthetic":
+		cfg := datagen.DefaultSyntheticConfig()
+		cfg.Seed = *seed
+		if *tables > 0 {
+			cfg.DerivedTables = *tables
+		}
+		lake, _, err = datagen.Synthetic(cfg)
+	case "real":
+		cfg := datagen.DefaultRealConfig()
+		cfg.Seed = *seed
+		if *tables > 0 {
+			cfg.TablesPerInstance = (*tables + cfg.ScenarioInstances - 1) / cfg.ScenarioInstances
+		}
+		lake, _, err = datagen.Real(cfg)
+	case "larger":
+		cfg := datagen.DefaultLargerConfig()
+		cfg.Seed = *seed
+		if *tables > 0 {
+			cfg.Tables = *tables
+		}
+		lake, _, err = datagen.Larger(cfg)
+	default:
+		return fmt.Errorf("generate: unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := d3l.SaveLakeDir(lake, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tables to %s\n", lake.Len(), *out)
+	return nil
+}
+
+func loadEngine(dir string) (*d3l.Engine, error) {
+	lake, err := d3l.LoadLakeDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return d3l.New(lake, d3l.DefaultOptions())
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("dir", "", "lake directory of CSV files")
+	targetPath := fs.String("target", "", "target table CSV")
+	k := fs.Int("k", 10, "answer size")
+	withJoins := fs.Bool("joins", false, "augment with SA-join paths (D3L+J)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *targetPath == "" {
+		return fmt.Errorf("query: -dir and -target are required")
+	}
+	engine, err := loadEngine(*dir)
+	if err != nil {
+		return err
+	}
+	target, err := d3l.ReadCSVFile(*targetPath)
+	if err != nil {
+		return err
+	}
+	if *withJoins {
+		augs, err := engine.TopKWithJoins(target, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-9s %-9s %-9s %s\n", "table", "distance", "coverage", "cov+J", "paths")
+		for _, a := range augs {
+			fmt.Printf("%-24s %-9.3f %-9.2f %-9.2f %d\n",
+				a.Result.Name, a.Result.Distance, a.BaseCoverage, a.JoinCoverage, len(a.Paths))
+		}
+		return nil
+	}
+	results, err := engine.TopK(target, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %-9s %s\n", "table", "distance", "aligned target columns")
+	for _, r := range results {
+		fmt.Printf("%-24s %-9.3f %d/%d\n", r.Name, r.Distance, len(r.Alignments), target.Arity())
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dir := fs.String("dir", "", "lake directory of CSV files")
+	targetPath := fs.String("target", "", "target table CSV")
+	name := fs.String("table", "", "lake table to explain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *targetPath == "" || *name == "" {
+		return fmt.Errorf("explain: -dir, -target and -table are required")
+	}
+	engine, err := loadEngine(*dir)
+	if err != nil {
+		return err
+	}
+	target, err := d3l.ReadCSVFile(*targetPath)
+	if err != nil {
+		return err
+	}
+	rows, err := engine.Explain(target, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d3l.FormatExplanation(rows))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("dir", "", "lake directory of CSV files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("stats: -dir is required")
+	}
+	lake, err := d3l.LoadLakeDir(*dir)
+	if err != nil {
+		return err
+	}
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tables:       %d\n", lake.Len())
+	fmt.Printf("attributes:   %d\n", engine.NumAttributes())
+	fmt.Printf("data bytes:   %d\n", lake.DataBytes())
+	fmt.Printf("index bytes:  %d (%.0f%% of data)\n", engine.IndexSpaceBytes(),
+		100*float64(engine.IndexSpaceBytes())/float64(lake.DataBytes()))
+	fmt.Printf("join edges:   %d\n", engine.JoinGraphEdges())
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	id := fs.String("id", "all", "experiment id")
+	scaleName := fs.String("scale", "small", "small or paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("exp: unknown scale %q", *scaleName)
+	}
+	if *id == "all" {
+		return experiments.RunAll(os.Stdout, scale)
+	}
+	if *id == "ablations" {
+		env, err := experiments.NewRealEnv(scale)
+		if err != nil {
+			return err
+		}
+		reps, err := experiments.RunAblations(env)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			fmt.Println(rep.String())
+		}
+		return nil
+	}
+	rep, err := runOne(*id, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	return nil
+}
+
+func runOne(id string, scale experiments.Scale) (experiments.Report, error) {
+	needSynth := map[string]bool{"fig2": true, "exp2": true, "exp5": true, "exp7": true, "exp8": true, "exp9": true, "weights": true}
+	needReal := map[string]bool{"fig2": true, "exp1": true, "exp3": true, "exp6": true, "exp7": true, "exp10": true, "exp11": true}
+	var synth, real *experiments.Env
+	var err error
+	if needSynth[id] {
+		if synth, err = experiments.NewSyntheticEnv(scale); err != nil {
+			return experiments.Report{}, err
+		}
+	}
+	if needReal[id] {
+		if real, err = experiments.NewRealEnv(scale); err != nil {
+			return experiments.Report{}, err
+		}
+	}
+	switch id {
+	case "fig2":
+		return experiments.RunFig2(synth, real)
+	case "tab1":
+		return experiments.RunTableI()
+	case "exp1":
+		return experiments.RunExp1(real)
+	case "exp2":
+		return experiments.RunExp2(synth)
+	case "exp3":
+		return experiments.RunExp3(real)
+	case "exp4":
+		return experiments.RunExp4(scale)
+	case "exp5":
+		return experiments.RunExp5(synth)
+	case "exp6":
+		return experiments.RunExp6(real)
+	case "exp7":
+		return experiments.RunExp7(synth, real)
+	case "exp8":
+		return experiments.RunExp8(synth)
+	case "exp9":
+		return experiments.RunExp9(synth)
+	case "exp10":
+		return experiments.RunExp10(real)
+	case "exp11":
+		return experiments.RunExp11(real)
+	case "weights":
+		return experiments.TrainedWeightsReport(synth)
+	default:
+		return experiments.Report{}, fmt.Errorf("exp: unknown id %q", id)
+	}
+}

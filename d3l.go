@@ -1,0 +1,173 @@
+// Package d3l is a Go implementation of D3L — Dataset Discovery in Data
+// Lakes (Bogatu, Fernandes, Paton, Konstantinou; ICDE 2020).
+//
+// Given a data lake (a collection of tables with no metadata beyond
+// attribute names and domain-independent types) and a target table,
+// D3L returns the k most related tables, where relatedness combines
+// five evidence types — attribute-name q-grams, value tokens, value
+// formats, word embeddings and numeric domain distributions — each
+// mapped into a uniform distance space through LSH indexes, aggregated
+// with a distribution-aware weighting scheme, and optionally extended
+// through subject-attribute join paths that raise target coverage.
+//
+// Quick start:
+//
+//	lake := d3l.NewLake()
+//	lake.Add(someTable)                     // or d3l.LoadLakeDir("csvdir")
+//	engine, err := d3l.New(lake, d3l.DefaultOptions())
+//	results, err := engine.TopK(target, 10)
+//	augmented, err := engine.TopKWithJoins(target, 10)
+//
+// See the examples directory for runnable programs and DESIGN.md for
+// the mapping between this library and the paper.
+package d3l
+
+import (
+	"fmt"
+	"sync"
+
+	"d3l/internal/core"
+	"d3l/internal/joins"
+	"d3l/internal/table"
+)
+
+// Re-exported data-model types. They are aliases, so values flow freely
+// between the public API and the internal packages.
+type (
+	// Table is a named dataset with typed columns.
+	Table = table.Table
+	// Column is a named attribute with its extent and inferred type.
+	Column = table.Column
+	// Lake is an in-memory collection of tables.
+	Lake = table.Lake
+	// Options configure an Engine; use DefaultOptions as the base.
+	Options = core.Options
+	// Weights are the learned Eq. 3 evidence weights.
+	Weights = core.Weights
+	// Result is one ranked answer table with its distance vector and
+	// per-column alignments.
+	Result = core.TableResult
+	// Alignment pairs a target column with a related answer column.
+	Alignment = core.Alignment
+	// DistanceVector carries the five per-evidence distances.
+	DistanceVector = core.DistanceVector
+	// PairExplanation is one row of a Table I-style distance breakdown.
+	PairExplanation = core.PairExplanation
+	// Augmented is a ranked answer extended with join paths and
+	// coverage (Section IV, D3L+J).
+	Augmented = joins.Augmented
+	// JoinPath is a join path of table ids starting at a top-k table.
+	JoinPath = joins.Path
+	// Evidence identifies one of the five evidence types.
+	Evidence = core.Evidence
+)
+
+// Evidence type constants.
+const (
+	EvidenceName      = core.EvidenceName
+	EvidenceValue     = core.EvidenceValue
+	EvidenceFormat    = core.EvidenceFormat
+	EvidenceEmbedding = core.EvidenceEmbedding
+	EvidenceDomain    = core.EvidenceDomain
+	NumEvidence       = core.NumEvidence
+)
+
+// NewLake returns an empty data lake.
+func NewLake() *Lake { return table.NewLake() }
+
+// NewTable assembles a table from column names and row-major string
+// values; column types are inferred.
+func NewTable(name string, columns []string, rows [][]string) (*Table, error) {
+	return table.New(name, columns, rows)
+}
+
+// ReadCSVFile loads one CSV file as a table named after the file stem.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// LoadLakeDir loads every *.csv under dir into a lake.
+func LoadLakeDir(dir string) (*Lake, error) { return table.LoadLakeDir(dir) }
+
+// SaveLakeDir writes every table of the lake as dir/<name>.csv.
+func SaveLakeDir(l *Lake, dir string) error { return table.SaveLakeDir(l, dir) }
+
+// DefaultOptions returns the paper-faithful configuration (MinHash 256,
+// τ = 0.7, q = 4, LSH Forest 8×32).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultWeights returns the shipped Eq. 3 weights.
+func DefaultWeights() Weights { return core.DefaultWeights() }
+
+// Engine is an indexed data lake ready for discovery queries. Build it
+// once with New; queries are safe for concurrent use. The SA-join graph
+// for TopKWithJoins is built lazily on first use and reused.
+type Engine struct {
+	core *core.Engine
+
+	graphOnce sync.Once
+	graph     *joins.Graph
+}
+
+// New profiles and indexes the lake (the paper's indexing phase).
+func New(lake *Lake, opts Options) (*Engine, error) {
+	e, err := core.BuildEngine(lake, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: e}, nil
+}
+
+// TopK returns the k most related lake tables for the target, most
+// related first (Section III-D).
+func (e *Engine) TopK(target *Table, k int) ([]Result, error) {
+	return e.core.TopK(target, k)
+}
+
+// TopKWithJoins returns the top-k answer augmented with SA-join paths
+// and Eq. 4/5 coverage — the paper's D3L+J (Section IV).
+func (e *Engine) TopKWithJoins(target *Table, k int) ([]Augmented, error) {
+	res, err := e.core.Search(target, k)
+	if err != nil {
+		return nil, err
+	}
+	e.graphOnce.Do(func() {
+		e.graph = joins.BuildGraph(e.core, joins.DefaultGraphOptions())
+	})
+	return joins.Augment(e.core, e.graph, res, joins.DefaultPathOptions())
+}
+
+// Explain returns the Table I-style pairwise distance rows between the
+// target and one lake table.
+func (e *Engine) Explain(target *Table, lakeTable string) ([]PairExplanation, error) {
+	return e.core.Explain(target, lakeTable)
+}
+
+// FormatExplanation renders explanation rows like the paper's Table I.
+func FormatExplanation(rows []PairExplanation) string {
+	return core.FormatExplanation(rows)
+}
+
+// Lake returns the indexed lake.
+func (e *Engine) Lake() *Lake { return e.core.Lake() }
+
+// NumAttributes reports how many attributes are indexed.
+func (e *Engine) NumAttributes() int { return e.core.NumAttributes() }
+
+// IndexSpaceBytes reports the total index footprint (Table II).
+func (e *Engine) IndexSpaceBytes() int64 { return e.core.IndexSpaceBytes() }
+
+// JoinGraphEdges reports the SA-join graph size, building the graph if
+// needed.
+func (e *Engine) JoinGraphEdges() int {
+	e.graphOnce.Do(func() {
+		e.graph = joins.BuildGraph(e.core, joins.DefaultGraphOptions())
+	})
+	return e.graph.Edges()
+}
+
+// TableName resolves a table id to its name.
+func (e *Engine) TableName(id int) (string, error) {
+	if id < 0 || id >= e.core.Lake().Len() {
+		return "", fmt.Errorf("d3l: table id %d out of range", id)
+	}
+	return e.core.Lake().Table(id).Name, nil
+}

@@ -1,0 +1,183 @@
+package d3l_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"d3l"
+)
+
+func mustTable(t testing.TB, name string, cols []string, rows [][]string) *d3l.Table {
+	t.Helper()
+	tb, err := d3l.NewTable(name, cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func figure1Lake(t testing.TB) *d3l.Lake {
+	t.Helper()
+	lake := d3l.NewLake()
+	tables := []*d3l.Table{
+		mustTable(t, "S1",
+			[]string{"Practice Name", "Address", "City", "Postcode", "Patients"},
+			[][]string{
+				{"Dr E Cullen", "51 Botanic Av", "Belfast", "BT7 1JL", "1202"},
+				{"Blackfriars", "1a Chapel St", "Salford", "M3 6AF", "3572"},
+				{"Radclife Care", "69 Church St", "Manchester", "M26 2SP", "2210"},
+			}),
+		mustTable(t, "S2",
+			[]string{"Practice", "City", "Postcode", "Payment"},
+			[][]string{
+				{"The London Clinic", "London", "W1G 6BW", "73648"},
+				{"Blackfriars", "Salford", "M3 6AF", "15530"},
+				{"Radclife Care", "Manchester", "M26 2SP", "20081"},
+			}),
+		mustTable(t, "S3",
+			[]string{"GP", "Location", "Opening hours"},
+			[][]string{
+				{"Blackfriars", "Salford", "08:00-18:00"},
+				{"Radclife Care", "-", "07:00-20:00"},
+			}),
+	}
+	for _, tb := range tables {
+		if _, err := lake.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lake
+}
+
+func figure1Target(t testing.TB) *d3l.Table {
+	return mustTable(t, "T",
+		[]string{"Practice", "Street", "City", "Postcode", "Hours"},
+		[][]string{
+			{"Radclife", "69 Church St", "Manchester", "M26 2SP", "07:00-20:00"},
+			{"Bolton Medical", "21 Rupert St", "Bolton", "BL3 6PY", "08:00-16:00"},
+		})
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.NumAttributes() != 12 {
+		t.Fatalf("indexed %d attributes, want 12", engine.NumAttributes())
+	}
+	results, err := engine.TopK(figure1Target(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Distance < results[i-1].Distance {
+			t.Fatal("results not sorted")
+		}
+	}
+	name, err := engine.TableName(results[0].TableID)
+	if err != nil || name != results[0].Name {
+		t.Fatal("TableName mismatch")
+	}
+	if _, err := engine.TableName(-1); err == nil {
+		t.Fatal("expected error for bad table id")
+	}
+}
+
+func TestPublicAPIJoins(t *testing.T) {
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	augs, err := engine.TopKWithJoins(figure1Target(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(augs) == 0 {
+		t.Fatal("no augmented results")
+	}
+	for _, a := range augs {
+		if a.JoinCoverage < a.BaseCoverage {
+			t.Fatal("join coverage below base coverage")
+		}
+	}
+	if engine.JoinGraphEdges() < 1 {
+		t.Fatal("expected SA-join edges between the Figure 1 tables")
+	}
+}
+
+func TestPublicAPIExplain(t *testing.T) {
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := engine.Explain(figure1Target(t), "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d3l.FormatExplanation(rows)
+	if !strings.Contains(out, "DN") {
+		t.Fatal("explanation missing header")
+	}
+	for _, r := range rows {
+		for ev := d3l.Evidence(0); ev < d3l.NumEvidence; ev++ {
+			if d := r.Distances[ev]; d < 0 || d > 1 {
+				t.Fatalf("distance %v out of [0,1]", d)
+			}
+		}
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := d3l.SaveLakeDir(figure1Lake(t), dir); err != nil {
+		t.Fatal(err)
+	}
+	lake, err := d3l.LoadLakeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lake.Len() != 3 {
+		t.Fatalf("loaded %d tables, want 3", lake.Len())
+	}
+	tb, err := d3l.ReadCSVFile(filepath.Join(dir, "S1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "S1" || tb.Arity() != 5 {
+		t.Fatal("CSV round trip lost shape")
+	}
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.TopK(figure1Target(t), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWeightsAreValid(t *testing.T) {
+	w := d3l.DefaultWeights()
+	sum := 0.0
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("negative default weight")
+		}
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("all-zero default weights")
+	}
+}
+
+func TestOptionsValidationThroughPublicAPI(t *testing.T) {
+	opts := d3l.DefaultOptions()
+	opts.Threshold = 7
+	if _, err := d3l.New(d3l.NewLake(), opts); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

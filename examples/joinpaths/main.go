@@ -1,0 +1,54 @@
+// Join-path discovery: generate a dirty SmallerReal-like lake, query
+// with a target whose attributes no single table covers, and show how
+// D3L+J (Section IV) raises target coverage by pulling in tables that
+// join with the top-k answer on subject attributes — the paper's
+// Experiments 8 and 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d3l"
+	"d3l/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.DefaultRealConfig()
+	cfg.ScenarioInstances = 3
+	cfg.TablesPerInstance = 15
+	cfg.MinEntities, cfg.MaxEntities = 60, 120
+	lake, gt, err := datagen.Real(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lake: %d tables, %d attributes, %d SA-join edges\n\n",
+		lake.Len(), engine.NumAttributes(), engine.JoinGraphEdges())
+
+	targets := datagen.PickTargets(lake, gt, 3, 5)
+	for _, name := range targets {
+		target := lake.ByName(name)
+		augs, err := engine.TopKWithJoins(target, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("target %s (%d columns):\n", name, target.Arity())
+		var base, joined float64
+		for _, a := range augs {
+			if a.Result.Name == name {
+				continue
+			}
+			base += a.BaseCoverage
+			joined += a.JoinCoverage
+			fmt.Printf("  %-22s coverage %.2f -> %.2f via %d join paths\n",
+				a.Result.Name, a.BaseCoverage, a.JoinCoverage, len(a.Paths))
+		}
+		if n := float64(len(augs) - 1); n > 0 {
+			fmt.Printf("  mean coverage without joins %.2f, with joins %.2f\n\n", base/n, joined/n)
+		}
+	}
+}

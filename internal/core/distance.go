@@ -1,0 +1,141 @@
+package core
+
+import (
+	"d3l/internal/lsh"
+	"d3l/internal/minhash"
+	"d3l/internal/stats"
+)
+
+// jaccardDistance estimates a Jaccard distance between two set
+// signatures, guarding the empty-set case (two empty signatures agree
+// on every slot but carry no evidence, so the distance is maximal).
+func jaccardDistance(a, b minhash.Signature) float64 {
+	if a.Empty() || b.Empty() {
+		return 1
+	}
+	d, err := minhash.Distance(a, b)
+	if err != nil {
+		return 1
+	}
+	return d
+}
+
+// jaccardSimilarity is the complementary estimate with the same guard.
+func jaccardSimilarity(a, b minhash.Signature) float64 {
+	return 1 - jaccardDistance(a, b)
+}
+
+// PairDistances computes the five evidence distances between a target
+// attribute and a candidate attribute (Section III-B), with the
+// Algorithm 2 guard for D-relatedness. targetSubject and candSubject
+// are the profiles of the respective tables' subject attributes (nil
+// when a table has none). Disabled evidence types report distance 1.
+func (e *Engine) PairDistances(target, cand, targetSubject, candSubject *Profile) DistanceVector {
+	d := MaxDistances()
+	if !e.opts.Disabled[EvidenceName] {
+		d[EvidenceName] = jaccardDistance(target.QSig, cand.QSig)
+	}
+	if !e.opts.Disabled[EvidenceValue] && !target.Numeric && !cand.Numeric {
+		d[EvidenceValue] = jaccardDistance(target.TSig, cand.TSig)
+	}
+	if !e.opts.Disabled[EvidenceFormat] {
+		d[EvidenceFormat] = jaccardDistance(target.RSig, cand.RSig)
+	}
+	if !e.opts.Disabled[EvidenceEmbedding] && !target.EZero && !cand.EZero {
+		if dist, err := lsh.CosineDistance(target.ESig, cand.ESig, e.opts.EmbedBits); err == nil {
+			d[EvidenceEmbedding] = dist
+		}
+	}
+	if !e.opts.Disabled[EvidenceDomain] {
+		d[EvidenceDomain] = e.domainDistance(target, cand, targetSubject, candSubject)
+	}
+	return d
+}
+
+// domainDistance implements Algorithm 2: the KS statistic is computed
+// only for numeric-numeric pairs with blocking evidence — the two
+// tables' subject attributes are related by any index, or the pair is
+// N- or F-related — and is 1 otherwise.
+func (e *Engine) domainDistance(target, cand, targetSubject, candSubject *Profile) float64 {
+	if !target.Numeric || !cand.Numeric {
+		return 1
+	}
+	if len(target.NumExtent) == 0 || len(cand.NumExtent) == 0 {
+		return 1
+	}
+	guard := false
+	if targetSubject != nil && candSubject != nil && e.attrRelatedAnyIndex(targetSubject, candSubject) {
+		guard = true // i' ∈ I*.lookup(i)
+	} else if jaccardSimilarity(target.QSig, cand.QSig) >= e.opts.Threshold {
+		guard = true // a' ∈ I_N.lookup(a)
+	} else if jaccardSimilarity(target.RSig, cand.RSig) >= e.opts.Threshold {
+		guard = true // a' ∈ I_F.lookup(a)
+	}
+	if !guard {
+		return 1
+	}
+	ks, err := stats.KolmogorovSmirnov(target.NumExtent, cand.NumExtent)
+	if err != nil {
+		return 1
+	}
+	return ks
+}
+
+// attrRelatedAnyIndex is the existential I* lookup of Algorithm 2:
+// membership in any of I_N, I_V, I_E, I_F at the configured threshold,
+// decided on signature-estimated similarity (a sharper form of shared
+// bucket membership).
+func (e *Engine) attrRelatedAnyIndex(a, b *Profile) bool {
+	if jaccardSimilarity(a.QSig, b.QSig) >= e.opts.Threshold {
+		return true
+	}
+	if !a.Numeric && !b.Numeric && jaccardSimilarity(a.TSig, b.TSig) >= e.opts.Threshold {
+		return true
+	}
+	if jaccardSimilarity(a.RSig, b.RSig) >= e.opts.Threshold {
+		return true
+	}
+	if !a.EZero && !b.EZero {
+		if sim, err := lsh.CosineSimilarity(a.ESig, b.ESig, e.opts.EmbedBits); err == nil && sim >= e.opts.Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrRelated reports whether two attribute profiles are related by any
+// index at the engine threshold (used by Algorithm 3's join-path guard
+// and by the baselines' join variants).
+func (e *Engine) AttrRelated(a, b *Profile) bool { return e.attrRelatedAnyIndex(a, b) }
+
+// VSimilarity estimates the Jaccard similarity of two tsets (the
+// V evidence), used by the SA-joinability test of Section IV.
+func (e *Engine) VSimilarity(a, b *Profile) float64 {
+	if a.Numeric || b.Numeric {
+		return 0
+	}
+	return jaccardSimilarity(a.TSig, b.TSig)
+}
+
+// OverlapCoefficient estimates ov(T(a), T(a')) = |∩| / min(|T(a)|,
+// |T(a')|) from the signatures and tset cardinalities via
+// inclusion–exclusion: |∩| = J·(|A|+|B|)/(1+J).
+func (e *Engine) OverlapCoefficient(a, b *Profile) float64 {
+	if a.TSize == 0 || b.TSize == 0 {
+		return 0
+	}
+	j := e.VSimilarity(a, b)
+	inter := j * float64(a.TSize+b.TSize) / (1 + j)
+	m := float64(a.TSize)
+	if b.TSize < a.TSize {
+		m = float64(b.TSize)
+	}
+	ov := inter / m
+	if ov > 1 {
+		ov = 1
+	}
+	if ov < 0 {
+		ov = 0
+	}
+	return ov
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"d3l/internal/lsh"
+	"d3l/internal/subject"
+	"d3l/internal/table"
+)
+
+// Engine is an indexed data lake: the four LSH indexes I_N, I_V, I_F,
+// I_E of Algorithm 1 over per-attribute profiles, ready for top-k
+// relatedness queries.
+type Engine struct {
+	opts       Options
+	lake       *table.Lake
+	prof       *profiler
+	classifier *subject.Classifier
+
+	profiles []Profile // attribute id -> profile
+	byTable  [][]int   // table id -> attribute ids
+	subjects []int     // table id -> subject attribute id (-1 if none)
+
+	forestN *lsh.Forest
+	forestV *lsh.Forest
+	forestF *lsh.Forest
+	forestE *lsh.Forest
+}
+
+// BuildEngine profiles and indexes every attribute of the lake.
+// This is the paper's indexing phase (Experiment 4 measures it).
+func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if lake == nil {
+		return nil, fmt.Errorf("core: nil lake")
+	}
+	prof, err := newProfiler(opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:       opts,
+		lake:       lake,
+		prof:       prof,
+		classifier: opts.subjectClassifier(),
+		byTable:    make([][]int, lake.Len()),
+		subjects:   make([]int, lake.Len()),
+	}
+	e.forestN = lsh.MustForest(opts.ForestTrees, opts.ForestHashes)
+	e.forestV = lsh.MustForest(opts.ForestTrees, opts.ForestHashes)
+	e.forestF = lsh.MustForest(opts.ForestTrees, opts.ForestHashes)
+	eTrees, eHashes := embedForestLayout(opts.EmbedBits)
+	e.forestE = lsh.MustForest(eTrees, eHashes)
+
+	// Profiling dominates indexing cost (the paper's Experiment 4
+	// observation), and per-table profiles are independent, so they are
+	// computed by a worker pool; insertion into the forests stays
+	// sequential and in table order, keeping the build deterministic.
+	tableProfiles := e.profileAllTables(opts.Parallelism)
+	for tid := range lake.Tables() {
+		e.subjects[tid] = -1
+		profiles := tableProfiles[tid]
+		for i := range profiles {
+			attrID := len(e.profiles)
+			e.profiles = append(e.profiles, profiles[i])
+			e.byTable[tid] = append(e.byTable[tid], attrID)
+			if profiles[i].Subject {
+				e.subjects[tid] = attrID
+			}
+			p := &e.profiles[attrID]
+			if err := e.forestN.Add(int32(attrID), p.QSig); err != nil {
+				return nil, err
+			}
+			if err := e.forestF.Add(int32(attrID), p.RSig); err != nil {
+				return nil, err
+			}
+			if !p.Numeric {
+				// Numeric attributes are not inserted into I_V or I_E
+				// (Section III-C).
+				if err := e.forestV.Add(int32(attrID), p.TSig); err != nil {
+					return nil, err
+				}
+				if !p.EZero {
+					if err := e.forestE.Add(int32(attrID), p.ESig.HashValues()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	e.forestN.Index()
+	e.forestV.Index()
+	e.forestF.Index()
+	e.forestE.Index()
+	return e, nil
+}
+
+// profileAllTables runs Algorithm 1 over every table with the given
+// parallelism, returning per-table profile slices in table order.
+func (e *Engine) profileAllTables(parallelism int) [][]Profile {
+	tables := e.lake.Tables()
+	out := make([][]Profile, len(tables))
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism <= 1 || len(tables) < 2 {
+		for tid, t := range tables {
+			out[tid] = e.prof.ProfileTable(tid, t, e.classifier)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tid := range work {
+				out[tid] = e.prof.ProfileTable(tid, tables[tid], e.classifier)
+			}
+		}()
+	}
+	for tid := range tables {
+		work <- tid
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// embedForestLayout derives a forest layout for the byte-wide hash
+// values of an EmbedBits-bit signature (EmbedBits/8 values).
+func embedForestLayout(embedBits int) (trees, hashes int) {
+	vals := embedBits / 8
+	trees = 4
+	for trees > 1 && vals%trees != 0 {
+		trees--
+	}
+	return trees, vals / trees
+}
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Lake returns the indexed lake.
+func (e *Engine) Lake() *table.Lake { return e.lake }
+
+// NumAttributes reports the number of indexed attributes.
+func (e *Engine) NumAttributes() int { return len(e.profiles) }
+
+// Profile returns the profile of an attribute id.
+func (e *Engine) Profile(attrID int) *Profile { return &e.profiles[attrID] }
+
+// TableAttrs returns the attribute ids of a table.
+func (e *Engine) TableAttrs(tableID int) []int { return e.byTable[tableID] }
+
+// SubjectAttr returns the subject attribute id of a table and whether
+// one exists.
+func (e *Engine) SubjectAttr(tableID int) (int, bool) {
+	s := e.subjects[tableID]
+	return s, s >= 0
+}
+
+// ProfileTarget profiles a table outside the lake through the same
+// Algorithm 1 code path (table id -1 marks it as external).
+func (e *Engine) ProfileTarget(t *table.Table) []Profile {
+	return e.prof.ProfileTable(-1, t, e.classifier)
+}
+
+// IndexSpaceBytes reports the total size of the four forests plus the
+// profile store — the numerator of the Table II space overhead.
+func (e *Engine) IndexSpaceBytes() int64 {
+	total := e.forestN.SpaceBytes() + e.forestV.SpaceBytes() + e.forestF.SpaceBytes() + e.forestE.SpaceBytes()
+	for i := range e.profiles {
+		total += e.profiles[i].SpaceBytes()
+	}
+	return total
+}
+
+// membershipDepth converts the similarity threshold τ into a forest
+// prefix depth: a candidate agreeing on ~τ of hash values agrees on a
+// geometric prefix of expected length τ·hashesPerTree; we floor at 2 to
+// keep lookups selective.
+func membershipDepth(threshold float64, hashesPerTree int) int {
+	d := int(threshold * float64(hashesPerTree))
+	if d < 2 {
+		d = 2
+	}
+	if d > hashesPerTree {
+		d = hashesPerTree
+	}
+	return d
+}

@@ -1,0 +1,74 @@
+package core
+
+// VCandidates queries the value index I_V with a lake attribute's own
+// tset signature and returns candidate attribute ids (excluding the
+// queried attribute). It backs the SA-join graph construction of
+// Section IV, which relies on I_V to identify postulated inclusion
+// dependencies.
+func (e *Engine) VCandidates(attrID int, budget int) []int {
+	p := &e.profiles[attrID]
+	if p.Numeric || p.TSize == 0 {
+		return nil
+	}
+	ids, err := e.forestV.Query(p.TSig, budget)
+	if err != nil {
+		return nil
+	}
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if int(id) != attrID {
+			out = append(out, int(id))
+		}
+	}
+	return out
+}
+
+// Threshold exposes the configured LSH threshold τ.
+func (e *Engine) Threshold() float64 { return e.opts.Threshold }
+
+// TableRelatedToTarget reports whether any attribute of the lake table
+// is related to any target attribute by any index (the Algorithm 3 path
+// guard "Ni ∈ I*.lookup(T)").
+func (e *Engine) TableRelatedToTarget(tableID int, targetProfiles []Profile) bool {
+	for _, attrID := range e.byTable[tableID] {
+		cand := &e.profiles[attrID]
+		for i := range targetProfiles {
+			if e.attrRelatedAnyIndex(&targetProfiles[i], cand) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RelatedTargetColumns returns the set of target column indices related
+// to some attribute of the lake table by any index — the numerator of
+// the Eq. 4 coverage.
+func (e *Engine) RelatedTargetColumns(tableID int, targetProfiles []Profile) map[int]bool {
+	out := make(map[int]bool)
+	for _, attrID := range e.byTable[tableID] {
+		cand := &e.profiles[attrID]
+		for i := range targetProfiles {
+			if e.attrRelatedAnyIndex(&targetProfiles[i], cand) {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// RelatedColumnPairs returns, for every target column, the lake table's
+// column indices related to it by any index (used for attribute
+// precision, Experiments 9 and 11).
+func (e *Engine) RelatedColumnPairs(tableID int, targetProfiles []Profile) map[int][]int {
+	out := make(map[int][]int)
+	for _, attrID := range e.byTable[tableID] {
+		cand := &e.profiles[attrID]
+		for i := range targetProfiles {
+			if e.attrRelatedAnyIndex(&targetProfiles[i], cand) {
+				out[i] = append(out[i], cand.Ref.Column)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"d3l/internal/embed"
+	"d3l/internal/format"
+	"d3l/internal/lsh"
+	"d3l/internal/minhash"
+	"d3l/internal/table"
+	"d3l/internal/tokenize"
+)
+
+// Profile is the per-attribute summary Algorithm 1 builds: the set
+// representations of the four textual evidence types reduced to LSH
+// signatures, plus the numeric extent for D-relatedness. Profiles are
+// what gets indexed; raw extents are only retained for numeric columns
+// (the paper computes KS exactly, there being no LSH scheme for it).
+type Profile struct {
+	Ref     AttrRef
+	Name    string
+	Numeric bool
+	// Subject marks the table's subject attribute (Section III-C).
+	Subject bool
+
+	// QSig is the MinHash signature of the name q-gram set Q(a).
+	QSig minhash.Signature
+	// TSig is the MinHash signature of the tset T(a); TSize its
+	// cardinality (needed by the Section IV overlap coefficient).
+	TSig  minhash.Signature
+	TSize int
+	// RSig is the MinHash signature of the rset R(a).
+	RSig minhash.Signature
+	// ESig is the random-projection signature of the attribute
+	// embedding vector; EZero marks attributes with no embeddable
+	// content (numeric or empty extents).
+	ESig  lsh.BitSignature
+	EZero bool
+
+	// NumExtent is the parsed numeric extent for Numeric attributes.
+	NumExtent []float64
+}
+
+// profiler bundles the shared hash machinery.
+type profiler struct {
+	opts   Options
+	hasher *minhash.Hasher
+	planes *lsh.Planes
+	model  *embed.Model
+}
+
+func newProfiler(opts Options) (*profiler, error) {
+	hasher, err := minhash.NewHasher(opts.MinHashSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	planes, err := lsh.NewPlanes(embed.Dim, opts.EmbedBits, opts.Seed^0xabcdef)
+	if err != nil {
+		return nil, err
+	}
+	return &profiler{
+		opts:   opts,
+		hasher: hasher,
+		planes: planes,
+		model:  embed.NewModel(opts.Seed ^ 0x13572468),
+	}, nil
+}
+
+// sampleExtent caps the profiled extent deterministically (every k-th
+// value) so indexing cost is bounded while coverage stays spread across
+// the extent.
+func (p *profiler) sampleExtent(values []string) []string {
+	max := p.opts.MaxExtentSample
+	if max == 0 || len(values) <= max {
+		return values
+	}
+	out := make([]string, 0, max)
+	step := float64(len(values)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, values[int(float64(i)*step)])
+	}
+	return out
+}
+
+// profileColumn runs Algorithm 1 for one attribute.
+func (p *profiler) profileColumn(ref AttrRef, col *table.Column) Profile {
+	prof := Profile{
+		Ref:     ref,
+		Name:    col.Name,
+		Numeric: col.Type == table.Numeric,
+	}
+	// N: q-grams of the name.
+	prof.QSig = p.hasher.Sketch(tokenize.QGrams(col.Name, p.opts.QGramQ))
+
+	values := p.sampleExtent(col.NonNull())
+
+	// F: regex strings of the values. Numeric columns are indexed here
+	// too (Section III-C: "We do index them into the name– and
+	// format–related indexes").
+	prof.RSig = p.hasher.Sketch(format.RSet(values))
+
+	if prof.Numeric {
+		// V and E are not useful for numbers; keep the extent for the
+		// guarded KS computation.
+		prof.TSig = p.hasher.NewSignature()
+		prof.EZero = true
+		prof.ESig, _ = p.planes.Sketch(make([]float64, embed.Dim))
+		prof.NumExtent = col.NumericExtent()
+		return prof
+	}
+
+	// One pass over the extent builds the token histogram (Algorithm 1
+	// lines 5-8), then the per-part refinement of Example 2 selects
+	// tset words and embedding nominations.
+	hist := tokenize.NewHistogram()
+	for _, v := range values {
+		hist.Insert(tokenize.Tokens(v))
+	}
+	tset := make(map[string]struct{})
+	embedWords := make(map[string]struct{})
+	for _, v := range values {
+		tsetWords, embWords := hist.PartSignals(v)
+		for _, w := range tsetWords {
+			tset[w] = struct{}{}
+		}
+		for _, w := range embWords {
+			if hist.IsFrequent(w) {
+				embedWords[w] = struct{}{}
+			}
+		}
+	}
+	// Values with no frequent words still carry semantics; when nothing
+	// is frequent (near-unique extents), embed the tset words instead so
+	// E evidence is not silently dropped.
+	if len(embedWords) == 0 {
+		for w := range tset {
+			embedWords[w] = struct{}{}
+		}
+	}
+	prof.TSig = p.hasher.SketchSet(tset)
+	prof.TSize = len(tset)
+
+	words := make([]string, 0, len(embedWords))
+	for w := range embedWords {
+		words = append(words, w)
+	}
+	vec := p.model.Mean(words)
+	prof.EZero = embed.IsZero(vec)
+	prof.ESig, _ = p.planes.Sketch(vec)
+	return prof
+}
+
+// ProfileTable profiles every column of a table (which need not belong
+// to the indexed lake — targets go through the same code path) and
+// marks its subject attribute.
+func (p *profiler) ProfileTable(tableID int, t *table.Table, classifier interface{ SubjectIndex(*table.Table) int }) []Profile {
+	subjectIdx := classifier.SubjectIndex(t)
+	out := make([]Profile, t.Arity())
+	for i, col := range t.Columns {
+		out[i] = p.profileColumn(AttrRef{TableID: tableID, Column: i}, col)
+		out[i].Subject = i == subjectIdx
+	}
+	return out
+}
+
+// SpaceBytes reports the serialized size of the profile's signatures
+// (Table II space accounting).
+func (prof *Profile) SpaceBytes() int64 {
+	total := int64(len(prof.QSig.Bytes()) + len(prof.TSig.Bytes()) + len(prof.RSig.Bytes()) + len(prof.ESig.Bytes()))
+	total += int64(8 * len(prof.NumExtent))
+	total += int64(len(prof.Name))
+	return total
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"d3l/internal/stats"
+	"d3l/internal/table"
+)
+
+// Alignment pairs one target column with its best-related attribute of
+// a candidate table, carrying the five evidence distances (one row of a
+// Table I-style structure).
+type Alignment struct {
+	TargetColumn int
+	AttrID       int
+	CandColumn   int
+	Distances    DistanceVector
+}
+
+// TableResult is one entry of the top-k answer.
+type TableResult struct {
+	TableID int
+	Name    string
+	// Distance is the Eq. 3 scalar (smaller is more related).
+	Distance float64
+	// Vector is the Eq. 1 aggregate per evidence type.
+	Vector DistanceVector
+	// Alignments lists the per-target-column attribute alignments.
+	Alignments []Alignment
+}
+
+// SearchResult carries the ranked answer plus the target profiles, so
+// downstream stages (join-path discovery) reuse the profiling work.
+type SearchResult struct {
+	Target         *table.Table
+	TargetProfiles []Profile
+	TargetSubject  *Profile // nil when the target has no subject attr
+	Ranked         []TableResult
+}
+
+// TopK returns the k most related tables of the lake for the target.
+func (e *Engine) TopK(target *table.Table, k int) ([]TableResult, error) {
+	res, err := e.Search(target, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Ranked, nil
+}
+
+// candidatePair is one (target column, candidate attribute) distance
+// vector.
+type candidatePair struct {
+	targetCol int
+	attrID    int
+	dist      DistanceVector
+}
+
+// Search runs the full Section III-D pipeline.
+func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	tprofiles := e.ProfileTarget(target)
+	var tsubject *Profile
+	for i := range tprofiles {
+		if tprofiles[i].Subject {
+			tsubject = &tprofiles[i]
+		}
+	}
+
+	budget := e.opts.CandidateBudget
+	if budget == 0 {
+		budget = 4 * k
+		if budget < 64 {
+			budget = 64
+		}
+	}
+
+	// Phase 1: per target attribute, gather candidates from the four
+	// indexes and compute pair distances.
+	pairs := e.gatherPairs(tprofiles, tsubject, budget)
+
+	// Phase 2: per (target column, evidence type), build the R_t
+	// distance distributions backing the Eq. 2 CCDF weights.
+	var ecdfs *distanceECDFs
+	if !e.opts.UniformEq1Weights {
+		ecdfs = buildDistanceECDFs(len(tprofiles), pairs)
+	}
+
+	// Phase 3: group by candidate table, align columns, aggregate.
+	byTable := make(map[int][]candidatePair)
+	for _, p := range pairs {
+		tid := e.profiles[p.attrID].Ref.TableID
+		byTable[tid] = append(byTable[tid], p)
+	}
+	results := make([]TableResult, 0, len(byTable))
+	for tid, tablePairs := range byTable {
+		aligns := e.alignColumns(tablePairs)
+		if len(aligns) == 0 {
+			continue
+		}
+		vec := aggregateEq1(aligns, ecdfs, e.opts.Disabled)
+		results = append(results, TableResult{
+			TableID:    tid,
+			Name:       e.lake.Table(tid).Name,
+			Distance:   e.combineEq3(vec),
+			Vector:     vec,
+			Alignments: aligns,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		return results[i].Name < results[j].Name
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return &SearchResult{
+		Target:         target,
+		TargetProfiles: tprofiles,
+		TargetSubject:  tsubject,
+		Ranked:         results,
+	}, nil
+}
+
+// gatherPairs performs the index lookups of Section III-D: for each
+// target attribute, each index contributes candidates, and every
+// distinct candidate gets a full distance vector.
+func (e *Engine) gatherPairs(tprofiles []Profile, tsubject *Profile, budget int) []candidatePair {
+	var pairs []candidatePair
+	for col := range tprofiles {
+		tp := &tprofiles[col]
+		seen := make(map[int32]struct{})
+		collect := func(ids []int32) {
+			for _, id := range ids {
+				seen[id] = struct{}{}
+			}
+		}
+		if !e.opts.Disabled[EvidenceName] {
+			if ids, err := e.forestN.Query(tp.QSig, budget); err == nil {
+				collect(ids)
+			}
+		}
+		if !e.opts.Disabled[EvidenceValue] && !tp.Numeric {
+			if ids, err := e.forestV.Query(tp.TSig, budget); err == nil {
+				collect(ids)
+			}
+		}
+		if !e.opts.Disabled[EvidenceFormat] {
+			if ids, err := e.forestF.Query(tp.RSig, budget); err == nil {
+				collect(ids)
+			}
+		}
+		if !e.opts.Disabled[EvidenceEmbedding] && !tp.EZero {
+			if ids, err := e.forestE.Query(tp.ESig.HashValues(), budget); err == nil {
+				collect(ids)
+			}
+		}
+		for id := range seen {
+			cand := &e.profiles[id]
+			var candSubject *Profile
+			if s, ok := e.SubjectAttr(cand.Ref.TableID); ok {
+				candSubject = &e.profiles[s]
+			}
+			d := e.PairDistances(tp, cand, tsubject, candSubject)
+			pairs = append(pairs, candidatePair{targetCol: col, attrID: int(id), dist: d})
+		}
+	}
+	return pairs
+}
+
+// distanceECDFs holds, per target column and evidence type, the ECDF of
+// the R_t distribution (all distances of that type between the target
+// attribute and its lake candidates).
+type distanceECDFs struct {
+	perCol [][]*stats.ECDF // [col][evidence]
+}
+
+func buildDistanceECDFs(numCols int, pairs []candidatePair) *distanceECDFs {
+	samples := make([][][]float64, numCols)
+	for c := range samples {
+		samples[c] = make([][]float64, NumEvidence)
+	}
+	for _, p := range pairs {
+		for t := 0; t < int(NumEvidence); t++ {
+			samples[p.targetCol][t] = append(samples[p.targetCol][t], p.dist[t])
+		}
+	}
+	out := &distanceECDFs{perCol: make([][]*stats.ECDF, numCols)}
+	for c := range samples {
+		out.perCol[c] = make([]*stats.ECDF, NumEvidence)
+		for t := range samples[c] {
+			if len(samples[c][t]) > 0 {
+				ecdf, err := stats.NewECDF(samples[c][t])
+				if err == nil {
+					out.perCol[c][t] = ecdf
+				}
+			}
+		}
+	}
+	return out
+}
+
+// weight returns the Eq. 2 weight 1 − P(d ≤ D) for a distance of type t
+// observed for the given target column. With no distribution (or in the
+// uniform-weighting ablation, where the receiver is nil) the weight
+// falls back to the complementary distance (closer pairs weigh more) or
+// to 1 respectively.
+func (d *distanceECDFs) weight(col int, t Evidence, dist float64) float64 {
+	if d == nil {
+		return 1
+	}
+	if col < len(d.perCol) {
+		if e := d.perCol[col][t]; e != nil {
+			// Evaluate strictly below dist: the CCDF at the smallest
+			// observed distance must stay positive or Eq. 1 zeroes out
+			// exactly the strongest signals.
+			return e.CCDF(dist - 1e-12)
+		}
+	}
+	return 1 - dist
+}
+
+// alignColumns picks, for every target column that has candidates in
+// this table, the best-related attribute (smallest mean distance). A
+// candidate attribute may serve multiple target columns, as in the
+// paper's grouping (Table I pairs each target attribute independently).
+func (e *Engine) alignColumns(tablePairs []candidatePair) []Alignment {
+	best := make(map[int]candidatePair)
+	for _, p := range tablePairs {
+		cur, ok := best[p.targetCol]
+		if !ok || p.dist.Mean() < cur.dist.Mean() {
+			best[p.targetCol] = p
+		}
+	}
+	cols := make([]int, 0, len(best))
+	for c := range best {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	out := make([]Alignment, 0, len(cols))
+	for _, c := range cols {
+		p := best[c]
+		out = append(out, Alignment{
+			TargetColumn: c,
+			AttrID:       p.attrID,
+			CandColumn:   e.profiles[p.attrID].Ref.Column,
+			Distances:    p.dist,
+		})
+	}
+	return out
+}
+
+// aggregateEq1 folds the alignment rows column-wise into the
+// 5-dimensional relatedness vector using the Eq. 2 CCDF weights.
+func aggregateEq1(aligns []Alignment, ecdfs *distanceECDFs, disabled [NumEvidence]bool) DistanceVector {
+	var vec DistanceVector
+	for t := 0; t < int(NumEvidence); t++ {
+		if disabled[t] {
+			vec[t] = 1
+			continue
+		}
+		var num, den float64
+		for _, a := range aligns {
+			w := ecdfs.weight(a.TargetColumn, Evidence(t), a.Distances[t])
+			num += w * a.Distances[t]
+			den += w
+		}
+		if den == 0 {
+			// Every row is maximally distant in its distribution; the
+			// unweighted mean preserves the (weak) signal.
+			for _, a := range aligns {
+				num += a.Distances[t]
+			}
+			vec[t] = num / float64(len(aligns))
+			continue
+		}
+		vec[t] = num / den
+	}
+	return vec
+}
+
+// combineEq3 reduces the 5-vector to the scalar relatedness distance
+// with the learned weights: sqrt(Σ(w_t·d_t)² / Σw_t), normalised by its
+// maximum attainable value (the all-ones vector) so the result stays in
+// [0, 1] for any weight magnitudes — Eq. 3 as written is unbounded when
+// some w_t > 1, and learned coefficients routinely are.
+func (e *Engine) combineEq3(vec DistanceVector) float64 {
+	var num, den, max float64
+	for t := 0; t < int(NumEvidence); t++ {
+		w := e.opts.Weights[t]
+		if e.opts.Disabled[t] {
+			w = 0
+		}
+		num += (w * vec[t]) * (w * vec[t])
+		max += w * w
+		den += w
+	}
+	if den == 0 || max == 0 {
+		return 1
+	}
+	d := math.Sqrt(num/den) / math.Sqrt(max/den)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,273 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// field describes one attribute domain: how to name it, how to draw
+// values for an entity, and whether it is numeric. Fields are the unit
+// of ground-truth relatedness: two generated columns are related iff
+// they instantiate the same field of the same scenario (Definition 1:
+// values drawn from the same domain).
+type field struct {
+	key      string
+	variants []string // attribute-name synonyms used across tables
+	numeric  bool
+	style    string  // numeric rendering style
+	mean     float64 // numeric distribution parameters
+	std      float64
+	gen      func(r *rng, ctx *entityCtx) string
+}
+
+// entityCtx carries per-entity state so correlated fields (name, email)
+// agree.
+type entityCtx struct {
+	name string
+	city string
+}
+
+// scenario is a themed group of fields describing one entity class.
+type scenario struct {
+	name     string
+	category string // org-name category
+	fields   []field
+}
+
+// scenarioCatalog returns the scenario blueprints that SmallerReal and
+// LargerReal lakes are built from: the domains the paper lists for its
+// UK open-data lake (business, health, transportation, public service,
+// etc.).
+func scenarioCatalog() []scenario {
+	nameField := func(key, cat string, variants ...string) field {
+		return field{key: key, variants: variants,
+			gen: func(r *rng, ctx *entityCtx) string { return ctx.name }}
+	}
+	return []scenario{
+		{
+			name: "health", category: "health",
+			fields: []field{
+				nameField("practice", "health", "Practice Name", "Practice", "GP", "Provider", "Surgery"),
+				{key: "address", variants: []string{"Address", "Street Address", "Addr", "Premises"},
+					gen: func(r *rng, _ *entityCtx) string { return address(r) }},
+				{key: "city", variants: []string{"City", "Town", "Location", "Locality"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "postcode", variants: []string{"Postcode", "Post Code", "PostCode", "Postal Code"},
+					gen: func(r *rng, _ *entityCtx) string { return postcode(r) }},
+				{key: "patients", variants: []string{"Patients", "Registered Patients", "List Size"},
+					numeric: true, style: "int", mean: 4200, std: 1500},
+				{key: "payment", variants: []string{"Payment", "Funding", "Total Payment", "Amount"},
+					numeric: true, style: "money", mean: 61000, std: 21000},
+				{key: "hours", variants: []string{"Hours", "Opening hours", "Opening Times"},
+					gen: func(r *rng, _ *entityCtx) string { return openingHours(r) }},
+				{key: "phone", variants: []string{"Phone", "Telephone", "Contact Number"},
+					gen: func(r *rng, _ *entityCtx) string { return phone(r) }},
+			},
+		},
+		{
+			name: "schools", category: "school",
+			fields: []field{
+				nameField("school", "school", "School Name", "School", "Establishment", "Academy"),
+				{key: "city", variants: []string{"City", "Town", "LA Name", "Locality"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "postcode", variants: []string{"Postcode", "Post Code", "Postal Code"},
+					gen: func(r *rng, _ *entityCtx) string { return postcode(r) }},
+				{key: "pupils", variants: []string{"Pupils", "Number on Roll", "Students"},
+					numeric: true, style: "int", mean: 600, std: 250},
+				{key: "rating", variants: []string{"Rating", "Ofsted Rating", "Grade"},
+					gen: func(r *rng, _ *entityCtx) string {
+						return pick(r, []string{"Outstanding", "Good", "Requires improvement", "Inadequate"})
+					}},
+				{key: "opened", variants: []string{"Open Date", "Opened", "Opening Date"},
+					gen: func(r *rng, _ *entityCtx) string { return dateISO(r) }},
+				{key: "headteacher", variants: []string{"Headteacher", "Head", "Principal"},
+					gen: func(r *rng, _ *entityCtx) string { return personName(r) }},
+			},
+		},
+		{
+			name: "transport", category: "transport",
+			fields: []field{
+				nameField("station", "transport", "Station", "Station Name", "Stop Name", "Interchange"),
+				{key: "city", variants: []string{"City", "Town", "Area"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "route", variants: []string{"Route", "Line", "Service"},
+					gen: func(r *rng, _ *entityCtx) string { return refCode(r) }},
+				{key: "passengers", variants: []string{"Passengers", "Annual Passengers", "Entries"},
+					numeric: true, style: "int", mean: 250000, std: 120000},
+				{key: "platforms", variants: []string{"Platforms", "Number of Platforms"},
+					numeric: true, style: "int", mean: 4, std: 2},
+				{key: "postcode", variants: []string{"Postcode", "Post Code"},
+					gen: func(r *rng, _ *entityCtx) string { return postcode(r) }},
+			},
+		},
+		{
+			name: "business", category: "business",
+			fields: []field{
+				nameField("company", "business", "Company Name", "Business", "Employer", "Organisation"),
+				{key: "sector", variants: []string{"Sector", "Industry", "Category"},
+					gen: func(r *rng, _ *entityCtx) string { return pick(r, sectors) }},
+				{key: "city", variants: []string{"City", "Town", "Registered City"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "employees", variants: []string{"Employees", "Headcount", "Staff"},
+					numeric: true, style: "int", mean: 120, std: 80},
+				{key: "turnover", variants: []string{"Turnover", "Revenue", "Annual Turnover"},
+					numeric: true, style: "money", mean: 2400000, std: 900000},
+				{key: "incorporated", variants: []string{"Incorporated", "Incorporation Date", "Founded"},
+					gen: func(r *rng, _ *entityCtx) string { return dateISO(r) }},
+				{key: "contact", variants: []string{"Contact", "Email", "Contact Email"},
+					gen: func(r *rng, ctx *entityCtx) string { return email(r, ctx.name) }},
+			},
+		},
+		{
+			name: "crime", category: "business",
+			fields: []field{
+				{key: "offence", variants: []string{"Offence", "Crime Type", "Category"},
+					gen: func(r *rng, _ *entityCtx) string { return pick(r, crimeTypes) }},
+				{key: "city", variants: []string{"City", "Town", "Force Area"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "street", variants: []string{"Street", "Location", "Street Name"},
+					gen: func(r *rng, _ *entityCtx) string { return streetName(r) }},
+				{key: "month", variants: []string{"Month", "Date", "Reported"},
+					gen: func(r *rng, _ *entityCtx) string { return dateISO(r) }},
+				{key: "count", variants: []string{"Count", "Incidents", "Offence Count"},
+					numeric: true, style: "int", mean: 35, std: 20},
+				{key: "reference", variants: []string{"Reference", "Crime Reference", "Ref"},
+					gen: func(r *rng, _ *entityCtx) string { return refCode(r) }},
+			},
+		},
+		{
+			name: "property", category: "business",
+			fields: []field{
+				{key: "address", variants: []string{"Address", "Property Address", "Premises"},
+					gen: func(r *rng, _ *entityCtx) string { return address(r) }},
+				{key: "city", variants: []string{"City", "Town", "Post Town"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "postcode", variants: []string{"Postcode", "Post Code"},
+					gen: func(r *rng, _ *entityCtx) string { return postcode(r) }},
+				{key: "price", variants: []string{"Price", "Sale Price", "Amount"},
+					numeric: true, style: "money", mean: 245000, std: 90000},
+				{key: "sold", variants: []string{"Date of Sale", "Sold", "Transfer Date"},
+					gen: func(r *rng, _ *entityCtx) string { return dateUK(r) }},
+				{key: "type", variants: []string{"Type", "Property Type", "Dwelling Type"},
+					gen: func(r *rng, _ *entityCtx) string {
+						return pick(r, []string{"Detached", "Semi-detached", "Terraced", "Flat", "Bungalow"})
+					}},
+			},
+		},
+		{
+			name: "vehicles", category: "business",
+			fields: []field{
+				{key: "registration", variants: []string{"Registration", "Reg", "VRM"},
+					gen: func(r *rng, _ *entityCtx) string { return vehicleReg(r) }},
+				{key: "keeper", variants: []string{"Keeper", "Owner", "Registered Keeper"},
+					gen: func(r *rng, _ *entityCtx) string { return personName(r) }},
+				{key: "city", variants: []string{"City", "Town"},
+					gen: func(r *rng, ctx *entityCtx) string { return ctx.city }},
+				{key: "mot", variants: []string{"MOT Due", "MOT Expiry", "Test Due"},
+					gen: func(r *rng, _ *entityCtx) string { return dateISO(r) }},
+				{key: "mileage", variants: []string{"Mileage", "Odometer", "Miles"},
+					numeric: true, style: "int", mean: 62000, std: 30000},
+			},
+		},
+	}
+}
+
+// dirtyText applies representation noise to a text value: the paper's
+// "similar entities are inconsistently represented". level in [0,1]
+// scales how aggressive the rewriting is.
+func dirtyText(r *rng, v string, level float64) string {
+	if level <= 0 || v == "" {
+		return v
+	}
+	out := v
+	if r.float64() < level {
+		out = abbreviate(out)
+	}
+	if r.float64() < level*0.7 {
+		switch r.intn(3) {
+		case 0:
+			out = strings.ToUpper(out)
+		case 1:
+			out = strings.ToLower(out)
+		default:
+			out = strings.Title(strings.ToLower(out)) //nolint:staticcheck // deterministic ASCII input
+		}
+	}
+	if r.float64() < level*0.4 {
+		out = strings.ReplaceAll(out, ",", "")
+	}
+	if r.float64() < level*0.3 {
+		out = out + pick(r, []string{" (UK)", " *", "."})
+	}
+	if r.float64() < level*0.25 {
+		out = pick(r, []string{"The ", "City of "}) + out
+	}
+	return out
+}
+
+var abbreviations = [][2]string{
+	{"Street", "St"}, {"Road", "Rd"}, {"Avenue", "Ave"}, {"Lane", "Ln"},
+	{"Drive", "Dr"}, {"Court", "Ct"}, {"Crescent", "Cres"},
+	{"Medical Centre", "Med Ctr"}, {"Health Centre", "Health Ctr"},
+	{"Primary School", "Prim Sch"}, {"High School", "HS"},
+	{"Station", "Stn"}, {"Limited", "Ltd"},
+}
+
+func abbreviate(v string) string {
+	for _, ab := range abbreviations {
+		if strings.Contains(v, ab[0]) {
+			return strings.Replace(v, ab[0], ab[1], 1)
+		}
+	}
+	return v
+}
+
+// dirtyNumeric re-renders a numeric value with format noise (currency
+// symbols, thousands separators) without changing its magnitude class.
+func dirtyNumeric(r *rng, v string, style string, level float64) string {
+	if level <= 0 || r.float64() > level {
+		return v
+	}
+	switch style {
+	case "money":
+		if r.float64() < 0.5 {
+			return "£" + v
+		}
+		return withThousands(v)
+	case "int":
+		if r.float64() < 0.3 {
+			return withThousands(v)
+		}
+	}
+	return v
+}
+
+// withThousands inserts comma separators into the integer part.
+func withThousands(v string) string {
+	intPart := v
+	frac := ""
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		intPart, frac = v[:i], v[i:]
+	}
+	if len(intPart) <= 3 {
+		return v
+	}
+	var b strings.Builder
+	lead := len(intPart) % 3
+	if lead > 0 {
+		b.WriteString(intPart[:lead])
+	}
+	for i := lead; i < len(intPart); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(intPart[i : i+3])
+	}
+	return b.String() + frac
+}
+
+// fieldDomainKey is the global identity of a field instance within a
+// generated lake (scenario instance + field key).
+func fieldDomainKey(scenarioInstance int, fieldKey string) string {
+	return fmt.Sprintf("s%d/%s", scenarioInstance, fieldKey)
+}

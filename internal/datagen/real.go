@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"fmt"
+
+	"d3l/internal/table"
+)
+
+// RealConfig parameterises the SmallerReal-like lake: scenario-grouped
+// tables over shared entity pools with injected dirtiness, modelling
+// the paper's UK open-data repository (~700 tables, avg answer size
+// ~110, higher numeric-column ratio than Synthetic — Fig. 2).
+type RealConfig struct {
+	Seed uint64
+	// ScenarioInstances is how many independent entity pools are
+	// created; tables of the same instance are related.
+	ScenarioInstances int
+	// TablesPerInstance is the number of tables derived per pool.
+	TablesPerInstance int
+	// EntitiesPerInstance bounds pool size.
+	MinEntities, MaxEntities int
+	// MaxDirt is the per-table dirtiness ceiling in [0,1]; each table
+	// draws its own level uniformly from [0, MaxDirt].
+	MaxDirt float64
+}
+
+// DefaultRealConfig mirrors the Smaller Real proportions at a testable
+// scale: instances*tables ≈ 700 with instance-sized answer sets.
+func DefaultRealConfig() RealConfig {
+	return RealConfig{
+		Seed:              1337,
+		ScenarioInstances: 7,
+		TablesPerInstance: 100,
+		MinEntities:       120,
+		MaxEntities:       400,
+		MaxDirt:           0.6,
+	}
+}
+
+// Real generates the SmallerReal-like lake and ground truth.
+func Real(cfg RealConfig) (*table.Lake, *GroundTruth, error) {
+	if cfg.ScenarioInstances <= 0 || cfg.TablesPerInstance <= 0 {
+		return nil, nil, fmt.Errorf("datagen: instances (%d) and tables per instance (%d) must be positive", cfg.ScenarioInstances, cfg.TablesPerInstance)
+	}
+	if cfg.MinEntities <= 0 || cfg.MaxEntities < cfg.MinEntities {
+		return nil, nil, fmt.Errorf("datagen: invalid entity bounds [%d,%d]", cfg.MinEntities, cfg.MaxEntities)
+	}
+	if cfg.MaxDirt < 0 || cfg.MaxDirt > 1 {
+		return nil, nil, fmt.Errorf("datagen: MaxDirt %v out of [0,1]", cfg.MaxDirt)
+	}
+	r := newRNG(cfg.Seed)
+	catalog := scenarioCatalog()
+	cities := cityPool(r, 300)
+
+	lake := table.NewLake()
+	gt := newGroundTruth()
+	for inst := 0; inst < cfg.ScenarioInstances; inst++ {
+		sc := catalog[inst%len(catalog)]
+		sub := make([]string, 0, 40)
+		for _, idx := range r.sample(len(cities), 40) {
+			sub = append(sub, cities[idx])
+		}
+		pool := buildBase(r, sc, inst, r.rangeInt(cfg.MinEntities, cfg.MaxEntities), sub)
+		for ti := 0; ti < cfg.TablesPerInstance; ti++ {
+			name := fmt.Sprintf("%s%02d_t%03d", sc.name, inst, ti)
+			t, lineage, err := deriveDirtyTable(r, &pool, name, cfg.MaxDirt)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := lake.Add(t); err != nil {
+				return nil, nil, err
+			}
+			gt.record(name, lineage)
+		}
+	}
+	return lake, gt, nil
+}
+
+// deriveDirtyTable projects a field subset and entity subset from the
+// pool, then rewrites values with table-specific representation noise.
+func deriveDirtyTable(r *rng, pool *baseTable, name string, maxDirt float64) (*table.Table, []string, error) {
+	dirt := r.float64() * maxDirt
+	// Field subset: 2..min(6, arity) columns; keep the entity-name
+	// field most of the time so tables have a subject attribute.
+	arity := len(pool.columns)
+	nCols := r.rangeInt(2, min(6, arity))
+	colIdx := r.sample(arity, nCols)
+	if r.float64() < 0.85 && !containsInt(colIdx, 0) {
+		colIdx[0] = 0 // pool column 0 is the scenario's entity name field
+	}
+	// Entity subset: 30%–80%.
+	nRows := r.rangeInt(pool.rows*3/10, pool.rows*8/10)
+	if nRows < 1 {
+		nRows = 1
+	}
+	rowIdx := r.sample(pool.rows, nRows)
+
+	colNames := make([]string, len(colIdx))
+	lineage := make([]string, len(colIdx))
+	rows := make([][]string, len(rowIdx))
+	for i := range rows {
+		rows[i] = make([]string, len(colIdx))
+	}
+	for c, pi := range colIdx {
+		col := &pool.columns[pi]
+		colNames[c] = pick(r, col.field.variants)
+		lineage[c] = col.domain
+		for i, ri := range rowIdx {
+			v := col.values[ri]
+			if col.field.numeric {
+				v = dirtyNumeric(r, v, col.field.style, dirt)
+			} else {
+				v = dirtyText(r, v, dirt)
+			}
+			// Nulls appear in real data.
+			if r.float64() < dirt*0.08 {
+				v = ""
+			}
+			rows[i][c] = v
+		}
+	}
+	t, err := table.New(name, colNames, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, lineage, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LargerConfig parameterises the LargerReal-like lake used only for
+// efficiency measurements (Experiment 4 grows the repository in steps).
+type LargerConfig struct {
+	Seed   uint64
+	Tables int
+	// Entities bounds per-pool entity counts; pools recycle the
+	// scenario catalog with distinct instances.
+	MinEntities, MaxEntities int
+	// TablesPerInstance groups tables into pools.
+	TablesPerInstance int
+}
+
+// DefaultLargerConfig returns a scale-test default.
+func DefaultLargerConfig() LargerConfig {
+	return LargerConfig{Seed: 7331, Tables: 2500, MinEntities: 80, MaxEntities: 200, TablesPerInstance: 50}
+}
+
+// Larger generates an efficiency-scale lake (ground truth included for
+// completeness; the experiments only time indexing and search on it).
+func Larger(cfg LargerConfig) (*table.Lake, *GroundTruth, error) {
+	if cfg.Tables <= 0 || cfg.TablesPerInstance <= 0 {
+		return nil, nil, fmt.Errorf("datagen: Tables (%d) and TablesPerInstance (%d) must be positive", cfg.Tables, cfg.TablesPerInstance)
+	}
+	instances := (cfg.Tables + cfg.TablesPerInstance - 1) / cfg.TablesPerInstance
+	real := RealConfig{
+		Seed:              cfg.Seed,
+		ScenarioInstances: instances,
+		TablesPerInstance: cfg.TablesPerInstance,
+		MinEntities:       cfg.MinEntities,
+		MaxEntities:       cfg.MaxEntities,
+		MaxDirt:           0.5,
+	}
+	lake, gt, err := Real(real)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Trim to the exact requested count (instances round up).
+	if lake.Len() > cfg.Tables {
+		trimmed := table.NewLake()
+		for i := 0; i < cfg.Tables; i++ {
+			if _, err := trimmed.Add(lake.Table(i)); err != nil {
+				return nil, nil, err
+			}
+		}
+		lake = trimmed
+	}
+	return lake, gt, nil
+}

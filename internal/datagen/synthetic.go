@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"fmt"
+
+	"d3l/internal/table"
+)
+
+// SyntheticConfig parameterises the TUS-benchmark-style Synthetic lake:
+// base tables, then derived tables via random projections and
+// selections, with lineage recorded as ground truth. The defaults
+// mirror the benchmark's structure (32 base tables); the table count is
+// set per experiment (the full benchmark uses ~5000).
+type SyntheticConfig struct {
+	Seed          uint64
+	BaseTables    int
+	DerivedTables int
+	// MinRows/MaxRows bound base-table entity counts.
+	MinRows, MaxRows int
+	// RenameProb renames a projected column to a domain synonym,
+	// exercising the N evidence without changing the ground truth.
+	RenameProb float64
+}
+
+// DefaultSyntheticConfig returns the benchmark-faithful structure at a
+// laptop-scale table count.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Seed:          42,
+		BaseTables:    32,
+		DerivedTables: 1000,
+		MinRows:       80,
+		MaxRows:       300,
+		RenameProb:    0.25,
+	}
+}
+
+// baseTable is one generated base dataset with its entity pool.
+type baseTable struct {
+	scenario scenario
+	instance int
+	columns  []columnData
+	rows     int
+}
+
+type columnData struct {
+	field  field
+	name   string
+	values []string
+	domain string
+}
+
+// buildBase materialises one base table's entity pool.
+func buildBase(r *rng, sc scenario, instance int, rows int, cities []string) baseTable {
+	bt := baseTable{scenario: sc, instance: instance, rows: rows}
+	// Per-entity context keeps correlated fields consistent.
+	ctxs := make([]entityCtx, rows)
+	for i := range ctxs {
+		ctxs[i] = entityCtx{name: orgName(r, sc.category), city: pick(r, cities)}
+	}
+	for _, f := range sc.fields {
+		col := columnData{
+			field:  f,
+			name:   f.variants[0],
+			domain: fieldDomainKey(instance, f.key),
+		}
+		col.values = make([]string, rows)
+		for i := 0; i < rows; i++ {
+			if f.numeric {
+				col.values[i] = numeric(r, f.mean, f.std, f.style)
+			} else {
+				col.values[i] = f.gen(r, &ctxs[i])
+			}
+		}
+		bt.columns = append(bt.columns, col)
+	}
+	return bt
+}
+
+// Synthetic generates the lake and its ground truth.
+func Synthetic(cfg SyntheticConfig) (*table.Lake, *GroundTruth, error) {
+	if cfg.BaseTables <= 0 || cfg.DerivedTables <= 0 {
+		return nil, nil, fmt.Errorf("datagen: BaseTables (%d) and DerivedTables (%d) must be positive", cfg.BaseTables, cfg.DerivedTables)
+	}
+	if cfg.MinRows <= 0 || cfg.MaxRows < cfg.MinRows {
+		return nil, nil, fmt.Errorf("datagen: invalid row bounds [%d,%d]", cfg.MinRows, cfg.MaxRows)
+	}
+	r := newRNG(cfg.Seed)
+	catalog := scenarioCatalog()
+	cities := cityPool(r, 400)
+
+	bases := make([]baseTable, cfg.BaseTables)
+	for i := range bases {
+		sc := catalog[i%len(catalog)]
+		// Each base samples its own city subpool: partial cross-base
+		// value overlap, as in real open data.
+		sub := make([]string, 0, 60)
+		for _, idx := range r.sample(len(cities), 60) {
+			sub = append(sub, cities[idx])
+		}
+		rows := r.rangeInt(cfg.MinRows, cfg.MaxRows)
+		bases[i] = buildBase(r, sc, i, rows, sub)
+	}
+
+	lake := table.NewLake()
+	gt := newGroundTruth()
+	for d := 0; d < cfg.DerivedTables; d++ {
+		b := &bases[r.intn(len(bases))]
+		name := fmt.Sprintf("base%02d_d%04d", b.instance, d)
+		// Random projection: at least 2 columns (or all when arity < 2).
+		minCols := 2
+		if len(b.columns) < minCols {
+			minCols = len(b.columns)
+		}
+		nCols := r.rangeInt(minCols, len(b.columns))
+		colIdx := r.sample(len(b.columns), nCols)
+		// Random selection: 30%–90% of rows.
+		nRows := r.rangeInt(b.rows*3/10, b.rows*9/10)
+		if nRows < 1 {
+			nRows = 1
+		}
+		rowIdx := r.sample(b.rows, nRows)
+
+		colNames := make([]string, len(colIdx))
+		lineage := make([]string, len(colIdx))
+		rows := make([][]string, len(rowIdx))
+		for i := range rows {
+			rows[i] = make([]string, len(colIdx))
+		}
+		for c, bi := range colIdx {
+			col := &b.columns[bi]
+			cn := col.name
+			if r.float64() < cfg.RenameProb && len(col.field.variants) > 1 {
+				cn = col.field.variants[1+r.intn(len(col.field.variants)-1)]
+			}
+			colNames[c] = cn
+			lineage[c] = col.domain
+			for i, ri := range rowIdx {
+				rows[i][c] = col.values[ri]
+			}
+		}
+		t, err := table.New(name, colNames, rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := lake.Add(t); err != nil {
+			return nil, nil, err
+		}
+		gt.record(name, lineage)
+	}
+	return lake, gt, nil
+}
+
+// PickTargets deterministically selects n query targets from the lake,
+// preferring tables with non-trivial answer sizes (the paper queries
+// 100 randomly picked targets whose average answer size it reports).
+func PickTargets(lake *table.Lake, gt *GroundTruth, n int, seed uint64) []string {
+	r := newRNG(seed)
+	names := gt.Tables()
+	var eligible []string
+	for _, name := range names {
+		if gt.AnswerSize(name) >= 1 && lake.ByName(name) != nil {
+			eligible = append(eligible, name)
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = names
+	}
+	shuffle(r, eligible)
+	if n > len(eligible) {
+		n = len(eligible)
+	}
+	return eligible[:n]
+}

@@ -1,0 +1,202 @@
+// Package embed provides the word-embedding model (WEM) behind D3L's E
+// evidence. The paper uses a pre-trained fastText model; that resource
+// is unavailable offline, so this package implements the documented
+// substitution (DESIGN.md §4.1): the fastText *architecture* — a word
+// vector is the normalised sum of its character n-gram vectors — with
+// deterministic pseudo-random n-gram vectors, plus a concept lexicon
+// that pulls known synonym groups together the way distributional
+// training would. Orthographically close words therefore share subword
+// mass, and semantically related but lexically different words in the
+// generated lakes share concept mass, exercising the same code paths as
+// a real WEM: per-word vectors, per-attribute mean vectors, cosine
+// distance, and random-projection indexing.
+package embed
+
+import (
+	"math"
+	"strings"
+)
+
+// Dim is the embedding dimensionality. fastText ships 300; 64 keeps the
+// same behaviour at simulation scale.
+const Dim = 64
+
+// ngram width range, as in fastText's default subword setting (3..6,
+// trimmed to 3..5 here for short tokens).
+const (
+	minGram = 3
+	maxGram = 5
+)
+
+// conceptWeight balances subword evidence against lexicon concepts. A
+// word in a synonym group points mostly at the shared concept vector,
+// with a subword-dependent residual.
+const conceptWeight = 0.8
+
+// Model maps words to Dim-dimensional vectors. It is immutable after
+// construction and safe for concurrent use.
+type Model struct {
+	seed    uint64
+	concept map[string]string // word -> concept id
+}
+
+// NewModel builds a model with the built-in lexicon.
+func NewModel(seed uint64) *Model {
+	return &Model{seed: seed, concept: builtinLexicon()}
+}
+
+// NewModelWithLexicon builds a model with a caller-provided synonym
+// lexicon mapping each word to a concept identifier. Words sharing a
+// concept identifier embed close together.
+func NewModelWithLexicon(seed uint64, lexicon map[string]string) *Model {
+	c := make(map[string]string, len(lexicon))
+	for w, g := range lexicon {
+		c[strings.ToLower(w)] = g
+	}
+	return &Model{seed: seed, concept: c}
+}
+
+// Dim reports the vector dimensionality.
+func (m *Model) Dim() int { return Dim }
+
+// Word returns the embedding of a single word. The zero word yields a
+// zero vector.
+func (m *Model) Word(word string) []float64 {
+	vec := make([]float64, Dim)
+	w := strings.ToLower(strings.TrimSpace(word))
+	if w == "" {
+		return vec
+	}
+	// Subword component: mean of hashed character n-gram vectors over
+	// the fastText-style padded token.
+	padded := "<" + w + ">"
+	runes := []rune(padded)
+	count := 0
+	for g := minGram; g <= maxGram; g++ {
+		for i := 0; i+g <= len(runes); i++ {
+			addHashedVector(vec, m.seed, string(runes[i:i+g]))
+			count++
+		}
+	}
+	if count == 0 {
+		addHashedVector(vec, m.seed, padded)
+		count = 1
+	}
+	for i := range vec {
+		vec[i] /= float64(count)
+	}
+	normalize(vec)
+	// Concept component: blend toward the shared concept vector.
+	if concept, ok := m.concept[w]; ok {
+		cvec := make([]float64, Dim)
+		addHashedVector(cvec, m.seed^0x5bd1e995, "concept:"+concept)
+		normalize(cvec)
+		for i := range vec {
+			vec[i] = conceptWeight*cvec[i] + (1-conceptWeight)*vec[i]
+		}
+		normalize(vec)
+	}
+	return vec
+}
+
+// Mean combines word vectors into one attribute vector (the paper
+// combines the p-vectors of the nominated words into a p-vector for the
+// whole attribute). Zero input yields a zero vector.
+func (m *Model) Mean(words []string) []float64 {
+	out := make([]float64, Dim)
+	if len(words) == 0 {
+		return out
+	}
+	for _, w := range words {
+		wv := m.Word(w)
+		for i := range out {
+			out[i] += wv[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(words))
+	}
+	normalize(out)
+	return out
+}
+
+// Cosine returns the cosine similarity of two vectors; zero vectors
+// yield 0.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// CosineDistance returns 1 − cosine similarity clamped to [0, 1], the
+// D_E distance of Section III-B.
+func CosineDistance(a, b []float64) float64 {
+	d := 1 - Cosine(a, b)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// IsZero reports whether a vector has no mass (no embeddable content).
+func IsZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// addHashedVector accumulates the deterministic pseudo-random unit-less
+// Gaussian-ish vector of key into vec. Components are derived from a
+// SplitMix64 stream seeded by the key hash, mapped to [-1, 1).
+func addHashedVector(vec []float64, seed uint64, key string) {
+	h := seed
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211 // FNV prime
+	}
+	next := splitMix64(h)
+	for i := range vec {
+		// Uniform in [-1, 1): a fine stand-in for Gaussian components
+		// given the downstream mean + normalise.
+		u := float64(next()>>11) / (1 << 53)
+		vec[i] += 2*u - 1
+	}
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func splitMix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

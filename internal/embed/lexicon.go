@@ -1,0 +1,111 @@
+package embed
+
+// builtinLexicon returns the default concept lexicon. Each group mirrors
+// a distributional neighbourhood a corpus-trained model (fastText on
+// Common Crawl) would learn for the vocabulary our generated data lakes
+// draw on: domain-type indicator words (the frequent tokens Algorithm 1
+// nominates for embedding) and common attribute-name words. The groups
+// were chosen to cover the domains in internal/datagen; they are data,
+// not tuning — adding a word only strengthens E-evidence for columns
+// that genuinely share a domain.
+func builtinLexicon() map[string]string {
+	groups := map[string][]string{
+		"healthcare-provider": {
+			"gp", "doctor", "doctors", "practice", "practices", "surgery",
+			"clinic", "clinics", "physician", "medical", "health",
+			"healthcare", "hospital", "hospitals", "trust", "nhs", "care",
+		},
+		"street": {
+			"street", "st", "road", "rd", "avenue", "ave", "av", "lane",
+			"ln", "drive", "dr", "way", "close", "court", "crescent",
+			"terrace", "grove", "place", "row", "walk", "hill",
+		},
+		"address": {
+			"address", "addresses", "location", "premises", "site",
+		},
+		"settlement": {
+			"city", "cities", "town", "towns", "borough", "village",
+			"district", "municipality", "locality",
+		},
+		"region": {
+			"county", "region", "province", "state", "area", "territory",
+			"shire",
+		},
+		"postcode": {
+			"postcode", "postcodes", "postal", "zip", "zipcode",
+		},
+		"person-name": {
+			"name", "names", "surname", "forename", "firstname",
+			"lastname", "title",
+		},
+		"organisation": {
+			"company", "companies", "business", "businesses", "firm",
+			"organisation", "organization", "enterprise", "employer",
+			"agency", "provider", "supplier", "vendor",
+		},
+		"school": {
+			"school", "schools", "college", "colleges", "academy",
+			"university", "campus", "education",
+		},
+		"time-of-day": {
+			"hours", "hour", "opening", "closing", "open", "closed",
+			"schedule", "time", "times",
+		},
+		"date": {
+			"date", "dates", "day", "month", "year", "years", "period",
+			"quarter",
+		},
+		"money": {
+			"payment", "payments", "funding", "cost", "costs", "price",
+			"prices", "amount", "fee", "fees", "budget", "spend",
+			"expenditure", "salary", "income", "revenue", "grant",
+		},
+		"count-of-people": {
+			"patients", "people", "population", "residents", "pupils",
+			"students", "employees", "staff", "headcount", "attendees",
+		},
+		"transport": {
+			"station", "stations", "stop", "stops", "route", "routes",
+			"line", "lines", "bus", "rail", "train", "transport",
+		},
+		"contact": {
+			"phone", "telephone", "tel", "mobile", "email", "mail",
+			"contact", "fax", "website", "url",
+		},
+		"identifier": {
+			"id", "ids", "code", "codes", "reference", "ref", "number",
+			"no", "key", "identifier",
+		},
+		"measure": {
+			"rating", "score", "rank", "grade", "level", "index",
+			"percentage", "percent", "rate", "ratio",
+		},
+		"country": {
+			"country", "countries", "nation", "uk", "england", "scotland",
+			"wales",
+		},
+		"vehicle": {
+			"vehicle", "vehicles", "car", "cars", "van", "fleet",
+			"registration",
+		},
+		"crime": {
+			"crime", "crimes", "offence", "offences", "incident",
+			"incidents", "police",
+		},
+		"property": {
+			"property", "properties", "housing", "house", "dwelling",
+			"building", "buildings", "land",
+		},
+		"weather": {
+			"temperature", "rainfall", "weather", "climate", "humidity",
+			"wind",
+		},
+	}
+	lex := make(map[string]string)
+	for concept, words := range groups {
+		for _, w := range words {
+			lex[w] = concept
+		}
+	}
+	return lex
+}

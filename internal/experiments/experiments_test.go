@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"d3l/internal/datagen"
+)
+
+// tinyScale keeps integration tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Label:           "tiny",
+		SyntheticBases:  6,
+		SyntheticTables: 40,
+		RealInstances:   2,
+		RealTablesPer:   8,
+		RealMinEntities: 30,
+		RealMaxEntities: 60,
+		Targets:         5,
+		Ks:              []int{3, 6},
+		JoinKs:          []int{3},
+		LargerSteps:     []int{15, 30},
+		SearchKs:        []int{3},
+		Seed:            7,
+		CandidateBudget: 48,
+	}
+}
+
+func tinySynth(t testing.TB) *Env {
+	t.Helper()
+	env, err := NewSyntheticEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func tinyReal(t testing.TB) *Env {
+	t.Helper()
+	env, err := NewRealEnv(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// generatedGT builds a small ground truth from the Synthetic generator
+// (datagen keeps its constructor unexported; its own tests cover the
+// mechanics — here we only need a known instance).
+func generatedGT() *datagen.GroundTruth {
+	cfg := datagen.DefaultSyntheticConfig()
+	cfg.BaseTables, cfg.DerivedTables = 2, 6
+	cfg.MinRows, cfg.MaxRows = 10, 15
+	_, gt, err := datagen.Synthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return gt
+}
+
+func TestMetricsOnGeneratedGT(t *testing.T) {
+	gt := generatedGT()
+	tables := gt.Tables()
+	var a, b, x string
+	for _, ta := range tables {
+		for _, tb := range tables {
+			if ta != tb && gt.TablesRelated(ta, tb) {
+				a, b = ta, tb
+			}
+		}
+	}
+	for _, tx := range tables {
+		if a != "" && tx != a && !gt.TablesRelated(a, tx) {
+			x = tx
+		}
+	}
+	if a == "" || x == "" {
+		t.Skip("generated GT lacks needed structure")
+	}
+	p, _ := precisionRecallAt(gt, a, []string{b, x})
+	if p != 0.5 {
+		t.Fatalf("precision %v, want 0.5", p)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(1, 0) != 0 || ratio(1, 2) != 0.5 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{
+		ID:     "x",
+		Title:  "demo",
+		Note:   "note",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := rep.String()
+	for _, want := range []string{"== x: demo ==", "(note)", "bee", "333"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure1FixtureAndTableI(t *testing.T) {
+	lake, target, err := Figure1Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lake.Len() != 3 || target.Arity() != 5 {
+		t.Fatal("fixture shape wrong")
+	}
+	rep, err := RunTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("Table I has no rows")
+	}
+	// The (Practice, Practice) pair must show DN = 0.
+	found := false
+	for _, row := range rep.Rows {
+		if row[0] == "(T.Practice, S2.Practice)" {
+			found = true
+			if row[1] != "0.00" {
+				t.Fatalf("DN for identical names = %s, want 0.00", row[1])
+			}
+			if row[5] != "1.00" {
+				t.Fatalf("DD for textual pair = %s, want 1.00", row[5])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no (T.Practice, S2.Practice) row: %v", rep.Rows)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	synth := tinySynth(t)
+	real := tinyReal(t)
+	rep, err := RunFig2(synth, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("fig2 rows = %d, want 2", len(rep.Rows))
+	}
+}
+
+func TestExp2ShapeD3LBeatsBaselines(t *testing.T) {
+	env := tinySynth(t)
+	rep, err := RunExp2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract precision at the smallest k per system.
+	prec := map[string]float64{}
+	kMin := strconv.Itoa(env.Scale.Ks[0])
+	for _, row := range rep.Rows {
+		if row[1] == kMin {
+			v, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prec[row[0]] = v
+		}
+	}
+	if prec["D3L"] < prec["TUS"] {
+		t.Fatalf("D3L precision %v below TUS %v", prec["D3L"], prec["TUS"])
+	}
+	if prec["D3L"] < 0.5 {
+		t.Fatalf("D3L precision %v too low at k=%s", prec["D3L"], kMin)
+	}
+	// Wrong env kind is rejected.
+	if _, err := RunExp2(tinyReal(t)); err == nil {
+		t.Fatal("exp2 should reject real env")
+	}
+}
+
+func TestExp1IndividualVsCombined(t *testing.T) {
+	env := tinyReal(t)
+	rep, err := RunExp1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined recall at max k should be at least the format-evidence
+	// recall (aggregation helps; Fig 3).
+	var combined, format float64
+	kMax := strconv.Itoa(env.Scale.Ks[len(env.Scale.Ks)-1])
+	for _, row := range rep.Rows {
+		if row[1] != kMax {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "combined":
+			combined = v
+		case "format":
+			format = v
+		}
+	}
+	if combined < format {
+		t.Fatalf("combined recall %v below format-only %v", combined, format)
+	}
+	if _, err := RunExp1(tinySynth(t)); err == nil {
+		t.Fatal("exp1 should reject synthetic env")
+	}
+}
+
+func TestExp4IndexingTimes(t *testing.T) {
+	rep, err := RunExp4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("exp4 rows = %d, want one per step", len(rep.Rows))
+	}
+	if _, err := RunExp4(Scale{}); err == nil {
+		t.Fatal("exp4 should reject empty steps")
+	}
+}
+
+func TestExp5And6SearchTimes(t *testing.T) {
+	synth := tinySynth(t)
+	rep, err := RunExp5(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D3L rows + TUS rows + one Aurum row.
+	want := 2*len(synth.Scale.SearchKs) + 1
+	if len(rep.Rows) != want {
+		t.Fatalf("exp5 rows = %d, want %d", len(rep.Rows), want)
+	}
+	real := tinyReal(t)
+	if _, err := RunExp6(real); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunExp5(real); err == nil {
+		t.Fatal("exp5 should reject real env")
+	}
+	if _, err := RunExp6(synth); err == nil {
+		t.Fatal("exp6 should reject synthetic env")
+	}
+}
+
+func TestExp7SpaceOverhead(t *testing.T) {
+	synth := tinySynth(t)
+	real := tinyReal(t)
+	rep, err := RunExp7(synth, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("exp7 rows = %d, want 3 systems", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Fatalf("overhead cell %q not a percentage", cell)
+			}
+		}
+	}
+}
+
+func TestExp8JoinCoverageGain(t *testing.T) {
+	env := tinySynth(t)
+	rep, err := RunExp8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := map[string]float64{}
+	for _, row := range rep.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov[row[0]+"@"+row[1]] = v
+	}
+	k := strconv.Itoa(env.Scale.JoinKs[0])
+	if cov["D3L+J@"+k] < cov["D3L@"+k] {
+		t.Fatalf("D3L+J coverage %v below D3L %v", cov["D3L+J@"+k], cov["D3L@"+k])
+	}
+	if _, err := RunExp8(tinyReal(t)); err == nil {
+		t.Fatal("exp8 should reject real env")
+	}
+}
+
+func TestExp10And11OnReal(t *testing.T) {
+	env := tinyReal(t)
+	rep, err := RunExp10(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("exp10 empty")
+	}
+	rep, err = RunExp11(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D3L+J precision must not fall below D3L (paper: "the precision of
+	// D3L+J does not descend below the original precision of D3L").
+	prec := map[string]float64{}
+	for _, row := range rep.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prec[row[0]+"@"+row[1]] = v
+	}
+	k := strconv.Itoa(env.Scale.JoinKs[0])
+	if prec["D3L+J@"+k]+0.15 < prec["D3L@"+k] {
+		t.Fatalf("D3L+J attr precision %v far below D3L %v", prec["D3L+J@"+k], prec["D3L@"+k])
+	}
+	if _, err := RunExp10(tinySynth(t)); err == nil {
+		t.Fatal("exp10 should reject synthetic env")
+	}
+	if _, err := RunExp11(tinySynth(t)); err == nil {
+		t.Fatal("exp11 should reject synthetic env")
+	}
+}
+
+func TestTrainedWeightsReport(t *testing.T) {
+	env := tinySynth(t)
+	rep, err := TrainedWeightsReport(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("weights rows = %d, want 5", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 {
+			t.Fatalf("weight %s negative", row[0])
+		}
+	}
+}
+
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll takes several seconds")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, tinyScale()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig2", "tab1", "exp1/fig3", "exp2/fig4", "exp3/fig5",
+		"exp4/fig6a", "exp5/fig6b", "exp6/fig6c", "exp7/tab2",
+		"exp8/fig7a", "exp9/fig7b", "exp10/fig8a", "exp11/fig8b", "weights"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestEnvBuildTimesRecorded(t *testing.T) {
+	env := tinySynth(t)
+	if _, err := env.D3L(); err != nil {
+		t.Fatal(err)
+	}
+	if env.BuildTime["D3L"] <= 0 {
+		t.Fatal("D3L build time not recorded")
+	}
+	// Cached on second call.
+	e1, _ := env.D3L()
+	e2, _ := env.D3L()
+	if e1 != e2 {
+		t.Fatal("engine should be cached")
+	}
+}

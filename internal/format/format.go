@@ -1,0 +1,206 @@
+// Package format derives the regular-expression representation of a
+// value's format (the F evidence of D3L, Section III-A): each value is
+// mapped to a string over the primitive lexical classes
+//
+//	C = [A-Z][a-z]+   capitalised word
+//	U = [A-Z]+        upper-case run
+//	L = [a-z]+        lower-case run
+//	N = [0-9]+        digit run
+//	A = [A-Za-z0-9]+  mixed alphanumeric run
+//	P = punctuation (any character not caught above)
+//
+// with consecutive repetitions of a symbol collapsed to a single symbol
+// followed by '+', e.g. the value "18 Portland Street, M1 3BE" maps to
+// "N C+ P A+" style strings. The set of such strings over an extent is
+// the rset R(a), compared by Jaccard distance via MinHash.
+package format
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Class symbols, ordered as enumerated in the paper; when a token
+// matches several primitive classes the first match wins.
+const (
+	ClassC = 'C'
+	ClassU = 'U'
+	ClassL = 'L'
+	ClassN = 'N'
+	ClassA = 'A'
+	ClassP = 'P'
+)
+
+// classify maps a maximal homogeneous run to its primitive class.
+func classify(run string) rune {
+	if run == "" {
+		return ClassP
+	}
+	hasUpper, hasLower, hasDigit, hasOther := false, false, false, false
+	for _, r := range run {
+		switch {
+		case unicode.IsUpper(r):
+			hasUpper = true
+		case unicode.IsLower(r):
+			hasLower = true
+		case unicode.IsDigit(r):
+			hasDigit = true
+		default:
+			hasOther = true
+		}
+	}
+	switch {
+	case hasOther:
+		return ClassP
+	case hasUpper && hasLower && !hasDigit:
+		// C only when the run is exactly one capital followed by lower.
+		runes := []rune(run)
+		if unicode.IsUpper(runes[0]) && len(runes) > 1 {
+			rest := true
+			for _, r := range runes[1:] {
+				if !unicode.IsLower(r) {
+					rest = false
+					break
+				}
+			}
+			if rest {
+				return ClassC
+			}
+		}
+		return ClassA
+	case hasUpper && !hasLower && !hasDigit:
+		return ClassU
+	case hasLower && !hasUpper && !hasDigit:
+		return ClassL
+	case hasDigit && !hasUpper && !hasLower:
+		return ClassN
+	default:
+		return ClassA
+	}
+}
+
+// tokenSymbols scans one whitespace-delimited token and emits its symbol
+// string by segmenting it into runs: letters-with-case-structure,
+// digits, and punctuation. A capitalised prefix followed by digits
+// yields separate symbols (e.g. "M13" -> U N, matching the A-or-split
+// treatment; we classify maximal same-category runs then join).
+func tokenSymbols(token string) string {
+	if token == "" {
+		return ""
+	}
+	var symbols []rune
+	runes := []rune(token)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsUpper(r):
+			// Consume the upper run, then an optional lower tail (C).
+			j := i + 1
+			for j < len(runes) && unicode.IsUpper(runes[j]) {
+				j++
+			}
+			if j == i+1 { // single capital: maybe C with lower tail
+				k := j
+				for k < len(runes) && unicode.IsLower(runes[k]) {
+					k++
+				}
+				if k > j {
+					symbols = append(symbols, ClassC)
+					i = k
+					continue
+				}
+			}
+			symbols = append(symbols, ClassU)
+			i = j
+		case unicode.IsLower(r):
+			j := i + 1
+			for j < len(runes) && unicode.IsLower(runes[j]) {
+				j++
+			}
+			symbols = append(symbols, ClassL)
+			i = j
+		case unicode.IsDigit(r):
+			j := i + 1
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			symbols = append(symbols, ClassN)
+			i = j
+		default:
+			j := i + 1
+			for j < len(runes) && !unicode.IsUpper(runes[j]) && !unicode.IsLower(runes[j]) && !unicode.IsDigit(runes[j]) {
+				j++
+			}
+			symbols = append(symbols, ClassP)
+			i = j
+		}
+	}
+	// Mixed alphanumeric tokens with more than two alternations collapse
+	// to A: they behave like identifiers (paper's A class), keeping rsets
+	// crisp rather than noisy.
+	if len(symbols) > 3 && !containsP(symbols) {
+		return string(ClassA)
+	}
+	return string(symbols)
+}
+
+func containsP(symbols []rune) bool {
+	for _, s := range symbols {
+		if s == ClassP {
+			return true
+		}
+	}
+	return false
+}
+
+// RegexString maps a whole value to its format-describing string:
+// per-token symbol strings joined in order, with consecutive identical
+// symbols collapsed to the first occurrence followed by '+'.
+func RegexString(value string) string {
+	tokens := strings.Fields(value)
+	if len(tokens) == 0 {
+		return ""
+	}
+	var raw []rune
+	for _, tok := range tokens {
+		raw = append(raw, []rune(tokenSymbols(tok))...)
+	}
+	return collapse(raw)
+}
+
+// collapse rewrites runs of the same symbol as "X+".
+func collapse(symbols []rune) string {
+	var b strings.Builder
+	i := 0
+	for i < len(symbols) {
+		b.WriteRune(symbols[i])
+		j := i + 1
+		for j < len(symbols) && symbols[j] == symbols[i] {
+			j++
+		}
+		if j > i+1 {
+			b.WriteByte('+')
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// RSet computes the rset of an extent: the deduplicated set of regex
+// strings of its values (the union in Algorithm 1, line 7).
+func RSet(values []string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, v := range values {
+		rs := RegexString(v)
+		if rs == "" {
+			continue
+		}
+		if _, dup := seen[rs]; !dup {
+			seen[rs] = struct{}{}
+			out = append(out, rs)
+		}
+	}
+	return out
+}

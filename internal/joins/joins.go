@@ -1,0 +1,286 @@
+// Package joins implements Section IV of the paper: extending
+// relatedness through join paths. It builds the SA-join graph G_S over
+// the lake (nodes are datasets, edges connect SA-joinable datasets),
+// discovers join paths from the top-k tables with Algorithm 3, and
+// computes the coverage measures of Eq. 4 and 5 that Experiments 8–11
+// report.
+package joins
+
+import (
+	"fmt"
+	"sort"
+
+	"d3l/internal/core"
+)
+
+// GraphOptions configure SA-join graph construction.
+type GraphOptions struct {
+	// MinOverlap is the overlap-coefficient floor for an edge. The
+	// paper derives ov ≥ τ(|A|+|B|)/((1+τ)·min(|A|,|B|)) from τ; with
+	// the default τ = 0.7 and balanced sets this is ≈ 0.82, but join
+	// keys have skewed cardinalities, so the bound against min(|A|,|B|)
+	// is what matters. 0 selects the τ-derived bound per pair.
+	MinOverlap float64
+	// CandidateBudget caps I_V lookups per subject attribute.
+	CandidateBudget int
+}
+
+// DefaultGraphOptions returns paper-faithful settings.
+func DefaultGraphOptions() GraphOptions {
+	return GraphOptions{MinOverlap: 0, CandidateBudget: 256}
+}
+
+// Edge is one SA-join opportunity between two tables.
+type Edge struct {
+	From, To         int // table ids
+	FromAttr, ToAttr int // attribute ids
+	Overlap          float64
+}
+
+// Graph is the SA-join graph G_S = (S, I).
+type Graph struct {
+	engine *core.Engine
+	adj    map[int][]Edge
+	edges  int
+}
+
+// BuildGraph constructs G_S: for every table's subject attribute, the
+// value index proposes overlap candidates; an edge appears when the
+// estimated overlap coefficient clears the bound and at least one
+// endpoint is a subject attribute (the two SA-joinability conditions).
+func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
+	if opts.CandidateBudget <= 0 {
+		opts.CandidateBudget = 256
+	}
+	g := &Graph{engine: e, adj: make(map[int][]Edge)}
+	lake := e.Lake()
+	seen := make(map[[2]int]bool) // undirected table-pair dedup
+	for tid := 0; tid < lake.Len(); tid++ {
+		subj, ok := e.SubjectAttr(tid)
+		if !ok {
+			continue
+		}
+		sp := e.Profile(subj)
+		for _, candID := range e.VCandidates(subj, opts.CandidateBudget) {
+			cp := e.Profile(candID)
+			otherTID := cp.Ref.TableID
+			if otherTID == tid {
+				continue
+			}
+			key := [2]int{tid, otherTID}
+			if otherTID < tid {
+				key = [2]int{otherTID, tid}
+			}
+			if seen[key] {
+				continue
+			}
+			ov := e.OverlapCoefficient(sp, cp)
+			if ov < overlapFloor(opts, e, sp, cp) {
+				continue
+			}
+			seen[key] = true
+			g.adj[tid] = append(g.adj[tid], Edge{From: tid, To: otherTID, FromAttr: subj, ToAttr: candID, Overlap: ov})
+			g.adj[otherTID] = append(g.adj[otherTID], Edge{From: otherTID, To: tid, FromAttr: candID, ToAttr: subj, Overlap: ov})
+			g.edges++
+		}
+	}
+	for tid := range g.adj {
+		sort.Slice(g.adj[tid], func(i, j int) bool { return g.adj[tid][i].Overlap > g.adj[tid][j].Overlap })
+	}
+	return g
+}
+
+// overlapFloor resolves the per-pair overlap threshold.
+func overlapFloor(opts GraphOptions, e *core.Engine, a, b *core.Profile) float64 {
+	if opts.MinOverlap > 0 {
+		return opts.MinOverlap
+	}
+	tau := e.Threshold()
+	na, nb := float64(a.TSize), float64(b.TSize)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	m := na
+	if nb < na {
+		m = nb
+	}
+	bound := tau * (na + nb) / ((1 + tau) * m)
+	if bound > 1 {
+		bound = 1
+	}
+	// The inclusion-exclusion bound assumes the pair was retrieved at
+	// τ; relax slightly to absorb MinHash estimation error.
+	return bound * 0.85
+}
+
+// Neighbours returns the edges incident to a table.
+func (g *Graph) Neighbours(tid int) []Edge { return g.adj[tid] }
+
+// Edges reports the number of undirected edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Path is a join path: table ids starting at a top-k table.
+type Path []int
+
+// PathOptions bound Algorithm 3's traversal.
+type PathOptions struct {
+	// MaxDepth caps the path length including the start (default 4).
+	MaxDepth int
+	// MaxPathsPerStart caps the paths collected per top-k table
+	// (default 64): SA-join graphs over open data are dense.
+	MaxPathsPerStart int
+}
+
+// DefaultPathOptions returns the default bounds.
+func DefaultPathOptions() PathOptions {
+	return PathOptions{MaxDepth: 4, MaxPathsPerStart: 64}
+}
+
+// FindJoinPaths runs Algorithm 3 from each top-k table: depth-first
+// traversal of G_S collecting paths whose nodes (apart from the start)
+// are outside the top-k, acyclic, and related to the target by at least
+// one index.
+func FindJoinPaths(g *Graph, topK []int, targetProfiles []core.Profile, opts PathOptions) map[int][]Path {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 4
+	}
+	if opts.MaxPathsPerStart <= 0 {
+		opts.MaxPathsPerStart = 64
+	}
+	inTopK := make(map[int]bool, len(topK))
+	for _, tid := range topK {
+		inTopK[tid] = true
+	}
+	// Cache the per-table target-relatedness guard: it is the expensive
+	// test and tables recur across starts.
+	relCache := make(map[int]bool)
+	relatedToTarget := func(tid int) bool {
+		if v, ok := relCache[tid]; ok {
+			return v
+		}
+		v := g.engine.TableRelatedToTarget(tid, targetProfiles)
+		relCache[tid] = v
+		return v
+	}
+	out := make(map[int][]Path, len(topK))
+	for _, start := range topK {
+		var paths []Path
+		var dfs func(node int, path Path)
+		dfs = func(node int, path Path) {
+			if len(paths) >= opts.MaxPathsPerStart || len(path) >= opts.MaxDepth {
+				return
+			}
+			for _, edge := range g.Neighbours(node) {
+				ni := edge.To
+				if inTopK[ni] || contains(path, ni) || !relatedToTarget(ni) {
+					continue
+				}
+				next := append(append(Path{}, path...), ni)
+				paths = append(paths, next)
+				if len(paths) >= opts.MaxPathsPerStart {
+					return
+				}
+				dfs(ni, next)
+			}
+		}
+		dfs(start, Path{start})
+		out[start] = paths
+	}
+	return out
+}
+
+func contains(p Path, tid int) bool {
+	for _, t := range p {
+		if t == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// Coverage computes the Eq. 4 coverage of a single table on the target:
+// the fraction of target columns related to some attribute of the
+// table.
+func Coverage(e *core.Engine, targetProfiles []core.Profile, tableID int) float64 {
+	if len(targetProfiles) == 0 {
+		return 0
+	}
+	covered := e.RelatedTargetColumns(tableID, targetProfiles)
+	return float64(len(covered)) / float64(len(targetProfiles))
+}
+
+// JoinCoverage computes the Eq. 5 combined coverage of a top-k table
+// and all its join paths: the union of covered target columns over the
+// start table and every table on every path.
+func JoinCoverage(e *core.Engine, targetProfiles []core.Profile, start int, paths []Path) float64 {
+	if len(targetProfiles) == 0 {
+		return 0
+	}
+	covered := e.RelatedTargetColumns(start, targetProfiles)
+	for _, p := range paths {
+		for _, tid := range p {
+			for col := range e.RelatedTargetColumns(tid, targetProfiles) {
+				covered[col] = true
+			}
+		}
+	}
+	return float64(len(covered)) / float64(len(targetProfiles))
+}
+
+// Augmented pairs one top-k result with its discovered join paths and
+// both coverage figures.
+type Augmented struct {
+	Result       core.TableResult
+	Paths        []Path
+	BaseCoverage float64 // Eq. 4
+	JoinCoverage float64 // Eq. 5
+}
+
+// Augment runs the full D3L+J pipeline on a search result: build (or
+// reuse) the SA-join graph, find join paths per top-k table, and
+// compute coverage with and without joins.
+func Augment(e *core.Engine, g *Graph, res *core.SearchResult, popts PathOptions) ([]Augmented, error) {
+	if res == nil {
+		return nil, fmt.Errorf("joins: nil search result")
+	}
+	topK := make([]int, len(res.Ranked))
+	for i, r := range res.Ranked {
+		topK[i] = r.TableID
+	}
+	pathsByStart := FindJoinPaths(g, topK, res.TargetProfiles, popts)
+	out := make([]Augmented, len(res.Ranked))
+	for i, r := range res.Ranked {
+		paths := pathsByStart[r.TableID]
+		out[i] = Augmented{
+			Result:       r,
+			Paths:        paths,
+			BaseCoverage: Coverage(e, res.TargetProfiles, r.TableID),
+			JoinCoverage: JoinCoverage(e, res.TargetProfiles, r.TableID, paths),
+		}
+	}
+	return out, nil
+}
+
+// ContributedTables returns the distinct non-top-k tables reachable via
+// the join paths of an augmented answer — the extra datasets D3L+J
+// would hand to downstream wrangling.
+func ContributedTables(augs []Augmented) []int {
+	inTopK := make(map[int]bool, len(augs))
+	for _, a := range augs {
+		inTopK[a.Result.TableID] = true
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, a := range augs {
+		for _, p := range a.Paths {
+			for _, tid := range p {
+				if !inTopK[tid] && !seen[tid] {
+					seen[tid] = true
+					out = append(out, tid)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,210 @@
+package lsh
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Forest is an LSH Forest (Bawa, Condie, Ganesan; WWW 2005): a set of l
+// prefix trees over per-tree slices of a hash-value signature. Unlike
+// banded LSH, the forest self-tunes the match length at query time, so
+// the search time for an answer of size k varies little with repository
+// size (the property D3L relies on; see Section II of the paper).
+//
+// The implementation follows the sorted-key variant: each tree keeps its
+// keys (one byte per hash value, hashesPerTree bytes per key) in a flat
+// sorted array, and prefix descent is binary search on progressively
+// shorter prefixes. This is the same layout the reference datasketch
+// implementation uses and costs O(l) words per indexed item.
+//
+// Build with Add (any order), call Index once, then Query concurrently.
+type Forest struct {
+	numTrees      int
+	hashesPerTree int
+	trees         []forestTree
+	count         int
+	indexed       bool
+}
+
+type forestTree struct {
+	keys []byte  // count * hashesPerTree bytes, sorted by entry after Index
+	ids  []int32 // parallel to keys (entry i covers keys[i*h:(i+1)*h])
+}
+
+// NewForest creates a forest of numTrees prefix trees each consuming
+// hashesPerTree values from the signature; signatures passed to Add and
+// Query must carry at least numTrees*hashesPerTree values.
+func NewForest(numTrees, hashesPerTree int) (*Forest, error) {
+	if numTrees <= 0 || hashesPerTree <= 0 {
+		return nil, fmt.Errorf("lsh: numTrees (%d) and hashesPerTree (%d) must be positive", numTrees, hashesPerTree)
+	}
+	f := &Forest{numTrees: numTrees, hashesPerTree: hashesPerTree, trees: make([]forestTree, numTrees)}
+	return f, nil
+}
+
+// MustForest is NewForest panicking on bad arguments.
+func MustForest(numTrees, hashesPerTree int) *Forest {
+	f, err := NewForest(numTrees, hashesPerTree)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MinSignatureLen reports the number of hash values a signature must
+// provide.
+func (f *Forest) MinSignatureLen() int { return f.numTrees * f.hashesPerTree }
+
+// Len reports the number of indexed items.
+func (f *Forest) Len() int { return f.count }
+
+// key extracts the byte key of tree t from a signature.
+func (f *Forest) key(t int, sig []uint64) []byte {
+	k := make([]byte, f.hashesPerTree)
+	base := t * f.hashesPerTree
+	for i := 0; i < f.hashesPerTree; i++ {
+		k[i] = byte(sig[base+i]) // low byte: uniform for MinHash values
+	}
+	return k
+}
+
+// Add inserts an item. It must not be called after Index.
+func (f *Forest) Add(id int32, sig []uint64) error {
+	if f.indexed {
+		return fmt.Errorf("lsh: Add after Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	for t := 0; t < f.numTrees; t++ {
+		tree := &f.trees[t]
+		tree.keys = append(tree.keys, f.key(t, sig)...)
+		tree.ids = append(tree.ids, id)
+	}
+	f.count++
+	return nil
+}
+
+// Index sorts the trees; it must be called once after the last Add and
+// before the first Query. Calling it again is a no-op.
+func (f *Forest) Index() {
+	if f.indexed {
+		return
+	}
+	h := f.hashesPerTree
+	for t := range f.trees {
+		tree := &f.trees[t]
+		order := make([]int, len(tree.ids))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ka := tree.keys[order[a]*h : order[a]*h+h]
+			kb := tree.keys[order[b]*h : order[b]*h+h]
+			return bytes.Compare(ka, kb) < 0
+		})
+		keys := make([]byte, len(tree.keys))
+		ids := make([]int32, len(tree.ids))
+		for pos, idx := range order {
+			copy(keys[pos*h:], tree.keys[idx*h:idx*h+h])
+			ids[pos] = tree.ids[idx]
+		}
+		tree.keys, tree.ids = keys, ids
+	}
+	f.indexed = true
+}
+
+// prefixRange returns the half-open entry range of tree whose keys match
+// the first depth bytes of key.
+func (f *Forest) prefixRange(tree *forestTree, key []byte, depth int) (int, int) {
+	h := f.hashesPerTree
+	n := len(tree.ids)
+	lo := sort.Search(n, func(i int) bool {
+		return bytes.Compare(tree.keys[i*h:i*h+depth], key[:depth]) >= 0
+	})
+	hi := sort.Search(n, func(i int) bool {
+		return bytes.Compare(tree.keys[i*h:i*h+depth], key[:depth]) > 0
+	})
+	return lo, hi
+}
+
+// Query returns candidate item ids similar to the query signature,
+// descending from the longest prefix until at least minResults distinct
+// candidates are gathered (or the prefix length reaches zero, which
+// bounds the scan to the whole forest). Candidates are deduplicated and
+// unranked: rank with exact signature comparison, as the engine does.
+func (f *Forest) Query(sig []uint64, minResults int) ([]int32, error) {
+	if !f.indexed {
+		return nil, fmt.Errorf("lsh: Query before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return nil, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	if minResults <= 0 {
+		minResults = 1
+	}
+	keys := make([][]byte, f.numTrees)
+	for t := range keys {
+		keys[t] = f.key(t, sig)
+	}
+	seen := make(map[int32]struct{})
+	var out []int32
+	for depth := f.hashesPerTree; depth >= 1; depth-- {
+		for t := 0; t < f.numTrees; t++ {
+			tree := &f.trees[t]
+			lo, hi := f.prefixRange(tree, keys[t], depth)
+			for i := lo; i < hi; i++ {
+				id := tree.ids[i]
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					out = append(out, id)
+				}
+			}
+		}
+		if len(out) >= minResults {
+			break
+		}
+	}
+	return out, nil
+}
+
+// QueryMinDepth returns all items sharing at least depth leading hash
+// values with the query in some tree. This is the fixed-threshold lookup
+// D3L's join-path guards use (membership test, Algorithm 2 and 3).
+func (f *Forest) QueryMinDepth(sig []uint64, depth int) ([]int32, error) {
+	if !f.indexed {
+		return nil, fmt.Errorf("lsh: QueryMinDepth before Index")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > f.hashesPerTree {
+		depth = f.hashesPerTree
+	}
+	seen := make(map[int32]struct{})
+	var out []int32
+	for t := 0; t < f.numTrees; t++ {
+		key := f.key(t, sig)
+		tree := &f.trees[t]
+		lo, hi := f.prefixRange(tree, key, depth)
+		for i := lo; i < hi; i++ {
+			id := tree.ids[i]
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpaceBytes estimates the memory footprint of the index payload (keys
+// and id arrays), used by the Table II space-overhead experiment.
+func (f *Forest) SpaceBytes() int64 {
+	var total int64
+	for t := range f.trees {
+		total += int64(len(f.trees[t].keys)) + 4*int64(len(f.trees[t].ids))
+	}
+	return total
+}

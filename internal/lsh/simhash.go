@@ -1,0 +1,184 @@
+// Package lsh provides the locality-sensitive index structures D3L is
+// built on: random-projection (SimHash) sketches for cosine similarity
+// (Charikar, STOC 2002), classic banded MinHash LSH, the self-tuning
+// LSH Forest (Bawa et al., WWW 2005) used for top-k retrieval, and an
+// LSH Ensemble-style partitioned index (Zhu et al., PVLDB 2016) for
+// skewed set sizes.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// BitSignature is a packed bit vector produced by random projections.
+// Bit i is sign(v · r_i) for the i-th random hyperplane r_i.
+type BitSignature []uint64
+
+// Planes is a family of random hyperplanes for cosine LSH. It is
+// deterministic in its seed and safe for concurrent use once built.
+type Planes struct {
+	dim   int
+	nbits int
+	rows  [][]float64 // nbits rows of dim Gaussian components
+}
+
+// NewPlanes builds nbits Gaussian hyperplanes over dim-dimensional
+// vectors.
+func NewPlanes(dim, nbits int, seed uint64) (*Planes, error) {
+	if dim <= 0 || nbits <= 0 {
+		return nil, fmt.Errorf("lsh: dim (%d) and nbits (%d) must be positive", dim, nbits)
+	}
+	p := &Planes{dim: dim, nbits: nbits, rows: make([][]float64, nbits)}
+	g := newGaussian(seed)
+	for i := range p.rows {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = g.next()
+		}
+		p.rows[i] = row
+	}
+	return p, nil
+}
+
+// MustPlanes is NewPlanes for static configuration; it panics on bad
+// arguments.
+func MustPlanes(dim, nbits int, seed uint64) *Planes {
+	p, err := NewPlanes(dim, nbits, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dim reports the expected input vector dimension.
+func (p *Planes) Dim() int { return p.dim }
+
+// Bits reports the signature width in bits.
+func (p *Planes) Bits() int { return p.nbits }
+
+// Sketch projects vec onto the hyperplanes, producing a bit signature.
+func (p *Planes) Sketch(vec []float64) (BitSignature, error) {
+	if len(vec) != p.dim {
+		return nil, fmt.Errorf("lsh: vector dim %d, want %d", len(vec), p.dim)
+	}
+	sig := make(BitSignature, (p.nbits+63)/64)
+	for i, row := range p.rows {
+		var dot float64
+		for j, v := range vec {
+			dot += row[j] * v
+		}
+		if dot >= 0 {
+			sig[i/64] |= 1 << (i % 64)
+		}
+	}
+	return sig, nil
+}
+
+// Hamming counts differing bits between two signatures of equal length.
+func Hamming(a, b BitSignature) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("lsh: signature word counts differ: %d vs %d", len(a), len(b))
+	}
+	h := 0
+	for i := range a {
+		h += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return h, nil
+}
+
+// CosineSimilarity estimates cos(θ) between the pre-images of two bit
+// signatures: θ ≈ π · hamming/nbits.
+func CosineSimilarity(a, b BitSignature, nbits int) (float64, error) {
+	h, err := Hamming(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if nbits <= 0 {
+		return 0, fmt.Errorf("lsh: nbits must be positive, got %d", nbits)
+	}
+	return math.Cos(math.Pi * float64(h) / float64(nbits)), nil
+}
+
+// CosineDistance estimates the cosine distance 1−cos(θ), clamped to
+// [0, 1] as required by the D3L distance framework (Section III-B).
+func CosineDistance(a, b BitSignature, nbits int) (float64, error) {
+	sim, err := CosineSimilarity(a, b, nbits)
+	if err != nil {
+		return 1, err
+	}
+	d := 1 - sim
+	if d < 0 {
+		d = 0
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d, nil
+}
+
+// HashValues converts a bit signature into a sequence of byte-wide hash
+// values so that cosine sketches can be indexed by the same Forest and
+// banded-LSH structures as MinHash signatures.
+func (s BitSignature) HashValues() []uint64 {
+	vals := make([]uint64, len(s)*8)
+	for i, w := range s {
+		for b := 0; b < 8; b++ {
+			vals[i*8+b] = (w >> (8 * b)) & 0xff
+		}
+	}
+	return vals
+}
+
+// Bytes serialises the signature for space accounting.
+func (s BitSignature) Bytes() []byte {
+	buf := make([]byte, len(s)*8)
+	for i, w := range s {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+	return buf
+}
+
+// gaussian produces deterministic standard-normal variates via the
+// Box–Muller transform over a SplitMix64 stream.
+type gaussian struct {
+	next64 func() uint64
+	spare  float64
+	has    bool
+}
+
+func newGaussian(seed uint64) *gaussian {
+	return &gaussian{next64: splitMix64(seed)}
+}
+
+func (g *gaussian) next() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	for {
+		u1 := float64(g.next64()>>11) / (1 << 53)
+		u2 := float64(g.next64()>>11) / (1 << 53)
+		if u1 <= 1e-300 {
+			continue
+		}
+		r := math.Sqrt(-2 * math.Log(u1))
+		g.spare = r * math.Sin(2*math.Pi*u2)
+		g.has = true
+		return r * math.Cos(2*math.Pi*u2)
+	}
+}
+
+func splitMix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -1,0 +1,260 @@
+// Package minhash implements MinHash signatures (Broder, SEQUENCES 1997)
+// over string sets, the locality-sensitive sketch D3L uses for its
+// Jaccard-grounded evidence types (names, values, formats).
+//
+// A Signature summarises a set with k 64-bit minimum hash values. The
+// probability that two signatures agree at a given position equals the
+// Jaccard similarity of the underlying sets, so the fraction of agreeing
+// positions is an unbiased estimator of Jaccard similarity with standard
+// error O(1/sqrt(k)).
+package minhash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// DefaultSize is the signature width used throughout the paper's
+// evaluation (Section V, footnote 5: "a MinHash size of 256").
+const DefaultSize = 256
+
+// mersennePrime is 2^61-1, used for universal hashing. Multiplication of
+// two values below 2^61 overflows uint64, so we reduce operands first;
+// see permute.
+const mersennePrime = (1 << 61) - 1
+
+// Hasher derives a family of k pairwise-independent hash permutations
+// from a seed. It is immutable and safe for concurrent use.
+type Hasher struct {
+	size int
+	a    []uint64 // multipliers, odd, < mersennePrime
+	b    []uint64 // offsets, < mersennePrime
+}
+
+// NewHasher returns a Hasher producing signatures of the given width.
+// The family is deterministic in seed, so signatures created by
+// different processes with the same seed are comparable.
+func NewHasher(size int, seed uint64) (*Hasher, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("minhash: signature size must be positive, got %d", size)
+	}
+	h := &Hasher{
+		size: size,
+		a:    make([]uint64, size),
+		b:    make([]uint64, size),
+	}
+	rng := splitMix64(seed)
+	for i := 0; i < size; i++ {
+		// Draw a in [1, p-1] and b in [0, p-1].
+		a := rng() % (mersennePrime - 1)
+		h.a[i] = a + 1
+		h.b[i] = rng() % mersennePrime
+	}
+	return h, nil
+}
+
+// MustHasher is NewHasher for static configuration; it panics on a
+// non-positive size.
+func MustHasher(size int, seed uint64) *Hasher {
+	h, err := NewHasher(size, seed)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Size reports the signature width produced by the Hasher.
+func (h *Hasher) Size() int { return h.size }
+
+// Signature is a MinHash sketch of a set.
+type Signature []uint64
+
+// Empty reports whether the signature was computed from an empty set.
+// Empty signatures have every slot at the maximum value.
+func (s Signature) Empty() bool {
+	for _, v := range s {
+		if v != math.MaxUint64 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the signature.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	copy(c, s)
+	return c
+}
+
+// NewSignature returns the signature of the empty set (all slots maxed)
+// ready for incremental Update calls.
+func (h *Hasher) NewSignature() Signature {
+	s := make(Signature, h.size)
+	for i := range s {
+		s[i] = math.MaxUint64
+	}
+	return s
+}
+
+// baseHash maps an element to a 64-bit value below the Mersenne prime.
+func baseHash(element string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(element)) // fnv never errors
+	return f.Sum64() % mersennePrime
+}
+
+// permute applies the i-th universal hash function to x (< p).
+// (a*x+b) mod p with p = 2^61-1, computed with 128-bit style splitting
+// to avoid overflow.
+func (h *Hasher) permute(i int, x uint64) uint64 {
+	return (mulmod(h.a[i], x) + h.b[i]) % mersennePrime
+}
+
+// mulmod computes (a*b) mod (2^61-1) without overflow using math/bits
+// style decomposition. a, b < 2^61.
+func mulmod(a, b uint64) uint64 {
+	// Split a into high and low 31/30-bit halves: a = ah*2^31 + al.
+	const half = 1 << 31
+	ah, al := a/half, a%half
+	bh, bl := b/half, b%half
+	// a*b = ah*bh*2^62 + (ah*bl+al*bh)*2^31 + al*bl
+	// Reduce each term mod 2^61-1, using 2^61 ≡ 1, so 2^62 ≡ 2.
+	t1 := (ah * bh % mersennePrime) * 2 % mersennePrime
+	mid := (ah*bl + al*bh) % mersennePrime
+	// mid*2^31 mod p: 2^31 < p so repeated doubling is too slow; use
+	// decomposition: mid*2^31 = (mid << 31) may overflow only if
+	// mid >= 2^33; reduce by splitting mid similarly.
+	mh, ml := mid/(1<<30), mid%(1<<30)
+	// mid*2^31 = mh*2^61 + ml*2^31 ≡ mh + ml*2^31 (mod p); ml < 2^30 so
+	// ml<<31 < 2^61, no overflow.
+	t2 := (mh + ml<<31) % mersennePrime
+	t3 := (al * bl) % mersennePrime
+	return (t1 + t2 + t3) % mersennePrime
+}
+
+// Update folds a single element into the signature in place.
+func (h *Hasher) Update(s Signature, element string) {
+	if len(s) != h.size {
+		panic(fmt.Sprintf("minhash: signature size %d does not match hasher size %d", len(s), h.size))
+	}
+	x := baseHash(element)
+	for i := 0; i < h.size; i++ {
+		if v := h.permute(i, x); v < s[i] {
+			s[i] = v
+		}
+	}
+}
+
+// Sketch computes the signature of a set given as a slice of elements.
+// Duplicate elements are harmless (MinHash is a set operation).
+func (h *Hasher) Sketch(elements []string) Signature {
+	s := h.NewSignature()
+	for _, e := range elements {
+		h.Update(s, e)
+	}
+	return s
+}
+
+// SketchSet computes the signature of a set given as a map.
+func (h *Hasher) SketchSet(set map[string]struct{}) Signature {
+	s := h.NewSignature()
+	for e := range set {
+		h.Update(s, e)
+	}
+	return s
+}
+
+// ErrSizeMismatch reports signatures of different widths.
+var ErrSizeMismatch = errors.New("minhash: signature sizes differ")
+
+// Similarity estimates the Jaccard similarity of the sets underlying
+// two signatures as the fraction of agreeing slots.
+func Similarity(a, b Signature) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrSizeMismatch
+	}
+	if len(a) == 0 {
+		return 0, errors.New("minhash: empty signatures")
+	}
+	equal := 0
+	for i := range a {
+		if a[i] == b[i] {
+			equal++
+		}
+	}
+	return float64(equal) / float64(len(a)), nil
+}
+
+// Distance estimates the Jaccard distance (1 - similarity).
+func Distance(a, b Signature) (float64, error) {
+	sim, err := Similarity(a, b)
+	if err != nil {
+		return 1, err
+	}
+	return 1 - sim, nil
+}
+
+// Merge combines two signatures into the signature of the union of the
+// underlying sets, writing into dst. All three must share a width.
+func Merge(dst, a, b Signature) error {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return ErrSizeMismatch
+	}
+	for i := range dst {
+		if a[i] < b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+	return nil
+}
+
+// Union returns a fresh signature of the union of the underlying sets.
+func Union(a, b Signature) (Signature, error) {
+	dst := make(Signature, len(a))
+	if err := Merge(dst, a, b); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Bytes serialises the signature in little-endian order, 8 bytes per
+// slot. Used by the experiment harness to account index space (Table II).
+func (s Signature) Bytes() []byte {
+	buf := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return buf
+}
+
+// FromBytes reconstructs a signature serialised by Bytes.
+func FromBytes(buf []byte) (Signature, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("minhash: serialized signature length %d not a multiple of 8", len(buf))
+	}
+	s := make(Signature, len(buf)/8)
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return s, nil
+}
+
+// splitMix64 returns a deterministic 64-bit pseudo-random generator used
+// to derive the hash family. SplitMix64 is the standard seeding PRNG for
+// reproducible simulation (Steele et al.).
+func splitMix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

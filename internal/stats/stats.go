@@ -1,0 +1,184 @@
+// Package stats provides the statistical primitives D3L relies on: the
+// two-sample Kolmogorov–Smirnov statistic for numeric domain-distribution
+// relatedness (the D evidence, Section III-C), empirical CDF/CCDF used
+// by the Eq. 2 weighting scheme, and descriptive statistics backing the
+// Fig. 2 repository profiles.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample reports a KS computation over an empty extent.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// KolmogorovSmirnov computes the two-sample KS statistic
+// sup_x |F1(x) − F2(x)| over the empirical CDFs of a and b.
+// It is symmetric, bounded in [0, 1], and 0 iff the sorted multisets
+// induce identical step functions. Inputs are not modified.
+func KolmogorovSmirnov(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 1, ErrEmptySample
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF; the input is copied.
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, ErrEmptySample
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// P returns P(X <= x).
+func (e *ECDF) P(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// Advance over ties so P is right-continuous with <=.
+	for idx < len(e.sorted) && e.sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// CCDF returns the complementary CDF 1 − P(X <= x). This is exactly the
+// weight w_it = 1 − P(d <= D_it) of Eq. 2: the probability that the
+// observed distance is the smallest in the relatedness distribution R_t.
+func (e *ECDF) CCDF(x float64) float64 { return 1 - e.P(x) }
+
+// Len reports the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Min returns the sample minimum.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the sample maximum.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Summary holds descriptive statistics of a sample (Fig. 2 style).
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P25, P50, P75 float64
+	P90, P95, P99 float64
+}
+
+// Describe computes a Summary. It returns an error on empty input.
+func Describe(sample []float64) (Summary, error) {
+	if len(sample) == 0 {
+		return Summary{}, ErrEmptySample
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	std := 0.0
+	if len(s) > 1 {
+		std = math.Sqrt(sq / float64(len(s)-1))
+	}
+	return Summary{
+		Count: len(s),
+		Mean:  mean, Std: std,
+		Min: s[0], Max: s[len(s)-1],
+		P25: Quantile(s, 0.25), P50: Quantile(s, 0.5), P75: Quantile(s, 0.75),
+		P90: Quantile(s, 0.90), P95: Quantile(s, 0.95), P99: Quantile(s, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-quantile of a sorted sample by linear
+// interpolation. q outside [0,1] is clamped.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// HistogramBins buckets a sample into n equal-width bins over [min,max],
+// used by the Fig. 2 arity/cardinality profiles.
+func HistogramBins(sample []float64, n int) (edges []float64, counts []int) {
+	if len(sample) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := sample[0], sample[0]
+	for _, v := range sample {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	counts = make([]int, n)
+	width := (hi - lo) / float64(n)
+	for _, v := range sample {
+		idx := int((v - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,235 @@
+// Package tokenize implements the value decomposition of D3L's Section
+// III-A: an attribute extent is construed as a set of documents (one per
+// value), each document as a set of parts (split at punctuation), and
+// each part as a set of words. A token-occurrence histogram over the
+// extent splits tokens into infrequent ones (strong value-similarity
+// signal, fed to the V evidence / tset) and frequent ones (domain-type
+// indicators, fed to the word-embedding E evidence).
+//
+// It also provides the q-gram decomposition of attribute names used by
+// the N evidence (q = 4 in the paper).
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// DefaultQ is the q-gram width the paper selected for attribute names
+// ("We have used q = 4").
+const DefaultQ = 4
+
+// QGrams returns the set of q-grams of the lower-cased, whitespace- and
+// punctuation-stripped name. Names shorter than q yield a single gram
+// with the whole residue, so short names still produce a signal.
+func QGrams(name string, q int) []string {
+	if q <= 0 {
+		q = DefaultQ
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return nil
+	}
+	runes := []rune(s)
+	if len(runes) <= q {
+		return []string{s}
+	}
+	seen := make(map[string]struct{})
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		g := string(runes[i : i+q])
+		if _, dup := seen[g]; !dup {
+			seen[g] = struct{}{}
+			grams = append(grams, g)
+		}
+	}
+	return grams
+}
+
+// isPartSeparator reports punctuation that splits a value into parts
+// (Example 2 splits an address value at commas).
+func isPartSeparator(r rune) bool {
+	switch r {
+	case ',', ';', ':', '/', '|', '(', ')', '[', ']', '{', '}', '"':
+		return true
+	}
+	return false
+}
+
+// Parts splits a value into its parts at punctuation characters.
+// Empty parts are dropped.
+func Parts(value string) []string {
+	parts := strings.FieldsFunc(value, isPartSeparator)
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, strings.TrimSpace(p))
+		}
+	}
+	return out
+}
+
+// Words splits a part into lower-cased words at spaces and residual
+// punctuation (hyphens, dots), dropping empties.
+func Words(part string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(part), func(r rune) bool {
+		return unicode.IsSpace(r) || r == '-' || r == '.' || r == '_' || r == '\''
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Tokens is the full decomposition of a value: all words of all parts
+// (get_tokens(v) in Algorithm 1).
+func Tokens(value string) []string {
+	var out []string
+	for _, p := range Parts(value) {
+		out = append(out, Words(p)...)
+	}
+	return out
+}
+
+// Histogram counts token occurrences across an attribute extent and
+// splits the vocabulary into frequent and infrequent halves, mirroring
+// the H.infrequent()/H.frequent() data structure of Algorithm 1.
+type Histogram struct {
+	counts map[string]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]int)}
+}
+
+// Insert folds the tokens of one value/document into the histogram.
+func (h *Histogram) Insert(tokens []string) {
+	for _, t := range tokens {
+		h.counts[t]++
+		h.total++
+	}
+}
+
+// Count reports the occurrences of a token.
+func (h *Histogram) Count(token string) int { return h.counts[token] }
+
+// Distinct reports the vocabulary size.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Total reports the total token occurrences.
+func (h *Histogram) Total() int { return h.total }
+
+// threshold is the frequency cut: tokens occurring strictly more often
+// than the mean occurrence count are frequent. With a uniform vocabulary
+// everything is infrequent, which matches the intuition that a column of
+// unique values carries only value-level signal.
+func (h *Histogram) threshold() float64 {
+	if len(h.counts) == 0 {
+		return 0
+	}
+	return float64(h.total) / float64(len(h.counts))
+}
+
+// Infrequent returns tokens at or below the mean occurrence count: the
+// informative, TF/IDF-like carriers of value-level similarity that make
+// up the tset T(a).
+func (h *Histogram) Infrequent() []string {
+	th := h.threshold()
+	out := make([]string, 0, len(h.counts))
+	for t, c := range h.counts {
+		if float64(c) <= th {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Frequent returns tokens strictly above the mean occurrence count:
+// weak value-level signals but strong domain-type indicators ('street',
+// 'road', postcode area prefixes, ...) whose embedding vectors feed ⃗a.
+func (h *Histogram) Frequent() []string {
+	th := h.threshold()
+	var out []string
+	for t, c := range h.counts {
+		if float64(c) > th {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsFrequent reports whether a single token falls in the frequent half.
+func (h *Histogram) IsFrequent(token string) bool {
+	c, ok := h.counts[token]
+	return ok && float64(c) > h.threshold()
+}
+
+// PartSignals applies the per-part refinement from Example 2 of the
+// paper to one value: for every part, the part's rarest word (fewest
+// occurrences in the extent) joins the tset, and the part's most common
+// word is nominated for embedding. Ties break lexicographically for
+// determinism. The histogram must already cover the whole extent.
+func (h *Histogram) PartSignals(value string) (tsetWords, embedWords []string) {
+	for _, part := range Parts(value) {
+		words := Words(part)
+		if len(words) == 0 {
+			continue
+		}
+		// Pure-numeric words carry weak token-level signal (Section
+		// III-C), so they only enter the tset when a part has nothing
+		// else; Example 2 picks 'portland' and '3be', not the house
+		// number.
+		candidates := words
+		if nonNum := filterNonNumeric(words); len(nonNum) > 0 {
+			candidates = nonNum
+		}
+		rare := candidates[0]
+		rareC := h.Count(candidates[0])
+		for _, w := range candidates[1:] {
+			c := h.Count(w)
+			if c < rareC || (c == rareC && w < rare) {
+				rare, rareC = w, c
+			}
+		}
+		common := words[0]
+		commonC := h.Count(words[0])
+		for _, w := range words[1:] {
+			c := h.Count(w)
+			if c > commonC || (c == commonC && w < common) {
+				common, commonC = w, c
+			}
+		}
+		tsetWords = append(tsetWords, rare)
+		embedWords = append(embedWords, common)
+	}
+	return tsetWords, embedWords
+}
+
+// filterNonNumeric drops words made entirely of digits.
+func filterNonNumeric(words []string) []string {
+	var out []string
+	for _, w := range words {
+		numeric := true
+		for _, r := range w {
+			if r < '0' || r > '9' {
+				numeric = false
+				break
+			}
+		}
+		if !numeric {
+			out = append(out, w)
+		}
+	}
+	return out
+}

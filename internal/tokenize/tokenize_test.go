@@ -1,0 +1,228 @@
+package tokenize
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQGramsPaperExample(t *testing.T) {
+	// Example 2: get_qgrams("Address") with q=4 -> {addr, ddre, dres, ress}.
+	got := QGrams("Address", 4)
+	want := []string{"addr", "ddre", "dres", "ress"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QGrams(Address) = %v, want %v", got, want)
+	}
+}
+
+func TestQGramsShortName(t *testing.T) {
+	got := QGrams("GP", 4)
+	if !reflect.DeepEqual(got, []string{"gp"}) {
+		t.Fatalf("QGrams(GP) = %v, want [gp]", got)
+	}
+}
+
+func TestQGramsStripsPunctuationAndCase(t *testing.T) {
+	a := QGrams("Practice Name", 4)
+	b := QGrams("practice_name", 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("case/punctuation should not matter: %v vs %v", a, b)
+	}
+}
+
+func TestQGramsEmpty(t *testing.T) {
+	if got := QGrams("", 4); got != nil {
+		t.Fatalf("QGrams(\"\") = %v, want nil", got)
+	}
+	if got := QGrams("!!!", 4); got != nil {
+		t.Fatalf("QGrams(punct-only) = %v, want nil", got)
+	}
+}
+
+func TestQGramsDefaultQ(t *testing.T) {
+	if !reflect.DeepEqual(QGrams("Address", 0), QGrams("Address", DefaultQ)) {
+		t.Fatal("q<=0 should fall back to DefaultQ")
+	}
+}
+
+func TestQGramsDeduplicates(t *testing.T) {
+	got := QGrams("aaaaaa", 2)
+	if !reflect.DeepEqual(got, []string{"aa"}) {
+		t.Fatalf("QGrams(aaaaaa,2) = %v, want [aa]", got)
+	}
+}
+
+func TestQGramsCountProperty(t *testing.T) {
+	f := func(s string) bool {
+		grams := QGrams(s, 4)
+		seen := map[string]struct{}{}
+		for _, g := range grams {
+			if _, dup := seen[g]; dup {
+				return false // must be a set
+			}
+			seen[g] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartsSplitsAtPunctuation(t *testing.T) {
+	got := Parts("18 Portland Street, M1 3BE")
+	want := []string{"18 Portland Street", "M1 3BE"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parts = %v, want %v", got, want)
+	}
+}
+
+func TestPartsDropsEmpties(t *testing.T) {
+	got := Parts(",,a,,b,")
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parts = %v, want %v", got, want)
+	}
+}
+
+func TestWordsLowercasesAndSplits(t *testing.T) {
+	got := Words("41 Oxford-Road")
+	want := []string{"41", "oxford", "road"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokensWholeValue(t *testing.T) {
+	got := Tokens("9 Mirabel Street, M3 1NN")
+	want := []string{"9", "mirabel", "street", "m3", "1nn"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func extentHistogram(values []string) *Histogram {
+	h := NewHistogram()
+	for _, v := range values {
+		h.Insert(Tokens(v))
+	}
+	return h
+}
+
+func TestHistogramFrequentInfrequentSplit(t *testing.T) {
+	// 'street' occurs in every value; the street names occur once each.
+	values := []string{
+		"18 Portland Street", "41 Oxford Street", "9 Mirabel Street",
+	}
+	h := extentHistogram(values)
+	if !h.IsFrequent("street") {
+		t.Fatal("'street' should be frequent")
+	}
+	if h.IsFrequent("portland") {
+		t.Fatal("'portland' should be infrequent")
+	}
+	inf := h.Infrequent()
+	sort.Strings(inf)
+	for _, w := range []string{"mirabel", "oxford", "portland"} {
+		if sort.SearchStrings(inf, w) == len(inf) || inf[sort.SearchStrings(inf, w)] != w {
+			t.Fatalf("infrequent set missing %q: %v", w, inf)
+		}
+	}
+	freq := h.Frequent()
+	if len(freq) != 1 || freq[0] != "street" {
+		t.Fatalf("frequent set = %v, want [street]", freq)
+	}
+}
+
+func TestHistogramPartitionProperty(t *testing.T) {
+	// Frequent and Infrequent partition the vocabulary.
+	f := func(tokens []string) bool {
+		h := NewHistogram()
+		h.Insert(tokens)
+		freq := h.Frequent()
+		inf := h.Infrequent()
+		if len(freq)+len(inf) != h.Distinct() {
+			return false
+		}
+		set := map[string]bool{}
+		for _, w := range freq {
+			set[w] = true
+		}
+		for _, w := range inf {
+			if set[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCounts(t *testing.T) {
+	h := NewHistogram()
+	h.Insert([]string{"a", "b", "a"})
+	h.Insert([]string{"a"})
+	if h.Count("a") != 3 || h.Count("b") != 1 || h.Count("zzz") != 0 {
+		t.Fatalf("counts wrong: a=%d b=%d", h.Count("a"), h.Count("b"))
+	}
+	if h.Total() != 4 || h.Distinct() != 2 {
+		t.Fatalf("total=%d distinct=%d", h.Total(), h.Distinct())
+	}
+}
+
+func TestPartSignalsPaperExample(t *testing.T) {
+	// Example 2 extent: street parts contribute their rare word to the
+	// tset; the frequent 'street' words are nominated for embedding.
+	values := []string{
+		"18 Portland Street, M1 3BE",
+		"41 Oxford Road, M13 9PL",
+		"9 Mirabel Street, M3 1NN",
+	}
+	h := extentHistogram(values)
+	tset, embed := h.PartSignals(values[0])
+	foundPortland := false
+	for _, w := range tset {
+		if w == "portland" {
+			foundPortland = true
+		}
+		if w == "street" {
+			t.Fatal("'street' must not enter the tset (frequent)")
+		}
+	}
+	if !foundPortland {
+		t.Fatalf("tset %v should contain 'portland'", tset)
+	}
+	foundStreet := false
+	for _, w := range embed {
+		if w == "street" {
+			foundStreet = true
+		}
+	}
+	if !foundStreet {
+		t.Fatalf("embedding nominations %v should contain 'street'", embed)
+	}
+}
+
+func TestPartSignalsEmptyValue(t *testing.T) {
+	h := NewHistogram()
+	tset, embed := h.PartSignals("")
+	if tset != nil || embed != nil {
+		t.Fatal("empty value should produce no signals")
+	}
+}
+
+func TestPartSignalsDeterministicTies(t *testing.T) {
+	h := NewHistogram()
+	h.Insert([]string{"alpha", "beta"})
+	t1, e1 := h.PartSignals("alpha beta")
+	t2, e2 := h.PartSignals("alpha beta")
+	if !reflect.DeepEqual(t1, t2) || !reflect.DeepEqual(e1, e2) {
+		t.Fatal("PartSignals should be deterministic")
+	}
+	if t1[0] != "alpha" { // lexicographic tie-break
+		t.Fatalf("tie should break lexicographically, got %v", t1)
+	}
+}

@@ -12,8 +12,12 @@
 package d3l_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"d3l"
+	"d3l/internal/datagen"
 	"d3l/internal/experiments"
 )
 
@@ -275,6 +279,111 @@ func BenchmarkAblationLeaveOneOut(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunAblationEvidencePairs(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Concurrent serving benchmarks ---
+//
+// BenchmarkSequentialTopKLoop and BenchmarkBatchTopK answer the same
+// query set over the same lake; the first is the pre-concurrency
+// serving shape (one query at a time, sequential pipeline), the second
+// the BatchTopK worker pool at Parallelism = NumCPU. On a multi-core
+// box the batch path's queries/s metric scales with the core count
+// (both pin the same per-query work, so the ratio is the fan-out win).
+
+// benchServingSetup indexes a synthetic lake once and selects the
+// query workload.
+func benchServingSetup(b *testing.B, parallelism int) (*d3l.Engine, []*d3l.Table) {
+	b.Helper()
+	cfg := datagen.SyntheticConfig{
+		Seed:          42,
+		BaseTables:    8,
+		DerivedTables: 120,
+		MinRows:       30,
+		MaxRows:       60,
+		RenameProb:    0.25,
+	}
+	lake, _, err := datagen.Synthetic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := d3l.DefaultOptions()
+	opts.Parallelism = parallelism
+	opts.CandidateBudget = 64
+	engine, err := d3l.New(lake, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]*d3l.Table, 32)
+	for i := range targets {
+		targets[i] = lake.Table((i * 3) % lake.Len())
+	}
+	return engine, targets
+}
+
+// BenchmarkSequentialTopKLoop is the baseline: every query of the
+// workload answered one at a time through the sequential pipeline.
+func BenchmarkSequentialTopKLoop(b *testing.B) {
+	engine, targets := benchServingSetup(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, target := range targets {
+			if _, err := engine.TopK(target, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkBatchTopK is the serving primitive: the same workload
+// answered by the concurrent worker pool at Parallelism = NumCPU.
+func BenchmarkBatchTopK(b *testing.B) {
+	engine, targets := benchServingSetup(b, runtime.NumCPU())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BatchTopK(targets, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkParallelSearch measures one query with its internal
+// column/table fan-out at Parallelism = NumCPU (the latency, rather
+// than throughput, side of the concurrency work).
+func BenchmarkParallelSearch(b *testing.B) {
+	engine, targets := benchServingSetup(b, runtime.NumCPU())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopK(targets[i%len(targets)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalAddRemove measures the mutation path: profiling
+// a new table and splicing/deleting its keys across the four indexes.
+func BenchmarkIncrementalAddRemove(b *testing.B) {
+	engine, _ := benchServingSetup(b, runtime.NumCPU())
+	cols := []string{"Practice", "City", "Postcode", "Payment"}
+	rows := [][]string{
+		{"Blackfriars", "Salford", "M3 6AF", "15530"},
+		{"Radclife Care", "Manchester", "M26 2SP", "20081"},
+		{"Bolton Medical", "Bolton", "BL3 6PY", "17264"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := d3l.NewTable(fmt.Sprintf("incr_%d", i), cols, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Add(t); err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.Remove(t.Name); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 //
 //	d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
 //	d3l query    -dir DIR -target FILE.csv -k K [-joins]
+//	d3l batch    -dir DIR -targets DIR -k K [-workers N]
 //	d3l explain  -dir DIR -target FILE.csv -table NAME
 //	d3l stats    -dir DIR
 //	d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"d3l"
 	"d3l/internal/datagen"
@@ -33,6 +35,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "batch":
+		err = cmdBatch(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
 	case "stats":
@@ -56,6 +60,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
   d3l query    -dir DIR -target FILE.csv -k K [-joins]
+  d3l batch    -dir DIR -targets DIR -k K [-workers N]
   d3l explain  -dir DIR -target FILE.csv -table NAME
   d3l stats    -dir DIR
   d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
@@ -158,6 +163,56 @@ func cmdQuery(args []string) error {
 	for _, r := range results {
 		fmt.Printf("%-24s %-9.3f %d/%d\n", r.Name, r.Distance, len(r.Alignments), target.Arity())
 	}
+	return nil
+}
+
+// cmdBatch is the serving-shaped workload: index one lake, then answer
+// a whole directory of target tables concurrently through BatchTopK.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	dir := fs.String("dir", "", "lake directory of CSV files")
+	targetsDir := fs.String("targets", "", "directory of target table CSVs")
+	k := fs.Int("k", 10, "answer size per target")
+	workers := fs.Int("workers", 0, "concurrent queries (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *targetsDir == "" {
+		return fmt.Errorf("batch: -dir and -targets are required")
+	}
+	lake, err := d3l.LoadLakeDir(*dir)
+	if err != nil {
+		return err
+	}
+	opts := d3l.DefaultOptions()
+	opts.Parallelism = *workers
+	engine, err := d3l.New(lake, opts)
+	if err != nil {
+		return err
+	}
+	targetLake, err := d3l.LoadLakeDir(*targetsDir)
+	if err != nil {
+		return err
+	}
+	targets := targetLake.Tables()
+	if len(targets) == 0 {
+		return fmt.Errorf("batch: no *.csv targets under %s", *targetsDir)
+	}
+	start := time.Now()
+	answers, err := engine.BatchTopK(targets, *k)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for i, results := range answers {
+		fmt.Printf("# %s\n", targets[i].Name)
+		for _, r := range results {
+			fmt.Printf("  %-24s %.3f\n", r.Name, r.Distance)
+		}
+	}
+	fmt.Printf("answered %d queries in %v (%.1f queries/s)\n",
+		len(targets), elapsed.Round(time.Millisecond),
+		float64(len(targets))/elapsed.Seconds())
 	return nil
 }
 

@@ -18,6 +18,13 @@
 //	results, err := engine.TopK(target, 10)
 //	augmented, err := engine.TopKWithJoins(target, 10)
 //
+// The engine serves queries concurrently and the lake is mutable after
+// indexing:
+//
+//	batch, err := engine.BatchTopK(targets, 10) // many queries, one pool
+//	id, err := engine.Add(newTable)             // incremental indexing
+//	err = engine.Remove("stale_table")          // incremental deletion
+//
 // See the examples directory for runnable programs and DESIGN.md for
 // the mapping between this library and the paper.
 package d3l
@@ -98,13 +105,25 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 func DefaultWeights() Weights { return core.DefaultWeights() }
 
 // Engine is an indexed data lake ready for discovery queries. Build it
-// once with New; queries are safe for concurrent use. The SA-join graph
-// for TopKWithJoins is built lazily on first use and reused.
+// once with New. The engine is safe for concurrent use: queries (TopK,
+// BatchTopK, TopKWithJoins, Explain) run concurrently with each other
+// and with the incremental mutations Add and Remove. The SA-join graph
+// for TopKWithJoins is built lazily on first use, reused across
+// queries, and rebuilt after a mutation.
 type Engine struct {
 	core *core.Engine
 
-	graphOnce sync.Once
-	graph     *joins.Graph
+	// mu serialises the join-graph code paths against mutations. The
+	// graph builders and Augment hold *Profile pointers and read the
+	// lake across many engine calls, which the core engine's per-call
+	// locking cannot make atomic; Add/Remove take this lock in write
+	// mode, TopKWithJoins and JoinGraphEdges in read mode. Plain
+	// queries rely on the core engine's own lock and skip this one.
+	// Lock order is always mu before the core engine's internal lock.
+	mu sync.RWMutex
+
+	graphMu sync.Mutex
+	graph   *joins.Graph
 }
 
 // New profiles and indexes the lake (the paper's indexing phase).
@@ -122,17 +141,88 @@ func (e *Engine) TopK(target *Table, k int) ([]Result, error) {
 	return e.core.TopK(target, k)
 }
 
+// BatchTopK answers one top-k query per target concurrently, bounded
+// by Options.Parallelism — the high-throughput serving primitive. The
+// answer slice is indexed like targets.
+func (e *Engine) BatchTopK(targets []*Table, k int) ([][]Result, error) {
+	return e.core.BatchTopK(targets, k)
+}
+
+// Add profiles and indexes a new table, returning its id. The table is
+// immediately discoverable. Profiling — the expensive part — runs
+// before any lock is taken, so in-flight queries (including join
+// queries) are blocked only for the index splice itself.
+func (e *Engine) Add(t *Table) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("d3l: nil table")
+	}
+	profiles := e.core.ProfileTarget(t)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.core.AddProfiled(t, profiles)
+	if err != nil {
+		return 0, err
+	}
+	e.invalidateGraph()
+	return id, nil
+}
+
+// Remove deletes a table by name from every index, making it
+// unreachable for subsequent queries. Ids of other tables are
+// unaffected, and the name becomes free for a later Add.
+func (e *Engine) Remove(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.core.Remove(name); err != nil {
+		return err
+	}
+	e.invalidateGraph()
+	return nil
+}
+
+// invalidateGraph drops the cached SA-join graph after a mutation; the
+// next TopKWithJoins rebuilds it over the current lake contents.
+// Callers hold e.mu in write mode, so no build is in flight.
+func (e *Engine) invalidateGraph() {
+	e.graphMu.Lock()
+	e.graph = nil
+	e.graphMu.Unlock()
+}
+
+// joinGraph returns the cached SA-join graph, building it if needed.
+// Callers hold e.mu in read mode, which excludes mutations for the
+// duration; graphMu only arbitrates concurrent readers, so two of
+// them may build duplicate graphs (wasted work, never incorrect —
+// the first one wins the cache).
+func (e *Engine) joinGraph() *joins.Graph {
+	e.graphMu.Lock()
+	g := e.graph
+	e.graphMu.Unlock()
+	if g != nil {
+		return g
+	}
+	built := joins.BuildGraph(e.core, joins.DefaultGraphOptions())
+	e.graphMu.Lock()
+	defer e.graphMu.Unlock()
+	if e.graph == nil {
+		e.graph = built
+	}
+	return e.graph
+}
+
 // TopKWithJoins returns the top-k answer augmented with SA-join paths
-// and Eq. 4/5 coverage — the paper's D3L+J (Section IV).
+// and Eq. 4/5 coverage — the paper's D3L+J (Section IV). The whole
+// call holds the mutation lock in read mode: graph building and path
+// augmentation hold profile pointers across many engine calls, so they
+// must not interleave with Add/Remove.
 func (e *Engine) TopKWithJoins(target *Table, k int) ([]Augmented, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	res, err := e.core.Search(target, k)
 	if err != nil {
 		return nil, err
 	}
-	e.graphOnce.Do(func() {
-		e.graph = joins.BuildGraph(e.core, joins.DefaultGraphOptions())
-	})
-	return joins.Augment(e.core, e.graph, res, joins.DefaultPathOptions())
+	return joins.Augment(e.core, e.joinGraph(), res, joins.DefaultPathOptions())
 }
 
 // Explain returns the Table I-style pairwise distance rows between the
@@ -158,10 +248,9 @@ func (e *Engine) IndexSpaceBytes() int64 { return e.core.IndexSpaceBytes() }
 // JoinGraphEdges reports the SA-join graph size, building the graph if
 // needed.
 func (e *Engine) JoinGraphEdges() int {
-	e.graphOnce.Do(func() {
-		e.graph = joins.BuildGraph(e.core, joins.DefaultGraphOptions())
-	})
-	return e.graph.Edges()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.joinGraph().Edges()
 }
 
 // TableName resolves a table id to its name.

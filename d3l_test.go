@@ -1,8 +1,10 @@
 package d3l_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"d3l"
@@ -179,5 +181,160 @@ func TestOptionsValidationThroughPublicAPI(t *testing.T) {
 	opts.Threshold = 7
 	if _, err := d3l.New(d3l.NewLake(), opts); err == nil {
 		t.Fatal("expected validation error")
+	}
+}
+
+// TestConcurrentJoinsAndMutations hammers TopKWithJoins (whose graph
+// build and augmentation hold profile pointers across engine calls)
+// concurrently with Add/Remove churn and plain queries. Run under
+// `go test -race`; this is the interleaving the public engine must
+// serialise internally.
+func TestConcurrentJoinsAndMutations(t *testing.T) {
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := figure1Target(t)
+	churn := make([]*d3l.Table, 3)
+	for i := range churn {
+		churn[i] = mustTable(t, fmt.Sprintf("churn_%d", i),
+			[]string{"Practice", "City", "Postcode"},
+			[][]string{
+				{"Blackfriars", "Salford", "M3 6AF"},
+				{"Radclife Care", "Manchester", "M26 2SP"},
+			})
+	}
+	var wg sync.WaitGroup
+	fail := make(chan error, 32)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := engine.TopKWithJoins(target, 3); err != nil {
+					fail <- fmt.Errorf("joins: %w", err)
+					return
+				}
+				_ = engine.JoinGraphEdges()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := engine.TopK(target, 3); err != nil {
+				fail <- fmt.Errorf("topk: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 4; round++ {
+			for _, c := range churn {
+				if _, err := engine.Add(c); err != nil {
+					fail <- fmt.Errorf("add: %w", err)
+					return
+				}
+			}
+			for _, c := range churn {
+				if err := engine.Remove(c.Name); err != nil {
+					fail <- fmt.Errorf("remove: %w", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+	// The engine still serves and the graph rebuilds cleanly.
+	if _, err := engine.TopKWithJoins(target, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIMutableLake exercises the incremental serving surface:
+// BatchTopK over several targets, Add making a table discoverable and
+// refreshing the SA-join graph, Remove making it unreachable.
+func TestPublicAPIMutableLake(t *testing.T) {
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := figure1Target(t)
+
+	answers, err := engine.BatchTopK([]*d3l.Table{target, target}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("got %d batch answers, want 2", len(answers))
+	}
+	single, err := engine.TopK(target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranked := range answers {
+		if len(ranked) != len(single) {
+			t.Fatalf("batch answer size %d differs from single %d", len(ranked), len(single))
+		}
+		for i := range ranked {
+			if ranked[i].Name != single[i].Name || ranked[i].Distance != single[i].Distance {
+				t.Fatalf("batch rank %d (%s@%v) differs from single (%s@%v)",
+					i, ranked[i].Name, ranked[i].Distance, single[i].Name, single[i].Distance)
+			}
+		}
+	}
+
+	edgesBefore := engine.JoinGraphEdges()
+	// S4 duplicates S2's schema and values, so it must rank for the
+	// Figure 1 target once added.
+	s4 := mustTable(t, "S4",
+		[]string{"Practice", "City", "Postcode", "Payment"},
+		[][]string{
+			{"Blackfriars", "Salford", "M3 6AF", "15530"},
+			{"Radclife Care", "Manchester", "M26 2SP", "20081"},
+		})
+	if _, err := engine.Add(s4); err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.TopK(target, engine.Lake().Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.Name == "S4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("added table not discoverable")
+	}
+	// The join graph was invalidated and rebuilt over the new lake: S4
+	// shares S2's subject values, so edges cannot have decreased.
+	if engine.JoinGraphEdges() < edgesBefore {
+		t.Fatalf("join graph lost edges after Add: %d -> %d", edgesBefore, engine.JoinGraphEdges())
+	}
+
+	if err := engine.Remove("S4"); err != nil {
+		t.Fatal(err)
+	}
+	results, err = engine.TopK(target, engine.Lake().Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Name == "S4" {
+			t.Fatal("removed table still discoverable")
+		}
+	}
+	if err := engine.Remove("S4"); err == nil {
+		t.Fatal("expected error on double Remove")
 	}
 }

@@ -1,0 +1,108 @@
+// Incremental: the serving-shaped workflow of a live data lake. We
+// index the Figure 1 lake, answer a batch of queries concurrently with
+// BatchTopK, then mutate the lake while it serves: Add a new payments
+// table (immediately discoverable), Remove it again (immediately
+// unreachable), all against the same engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d3l"
+)
+
+func mustTable(name string, cols []string, rows [][]string) *d3l.Table {
+	t, err := d3l.NewTable(name, cols, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func main() {
+	lake := d3l.NewLake()
+	for _, t := range []*d3l.Table{
+		mustTable("S1",
+			[]string{"Practice Name", "Address", "City", "Postcode", "Patients"},
+			[][]string{
+				{"Dr E Cullen", "51 Botanic Av", "Belfast", "BT7 1JL", "1202"},
+				{"Blackfriars", "1a Chapel St", "Salford", "M3 6AF", "3572"},
+				{"Radclife Care", "69 Church St", "Manchester", "M26 2SP", "2210"},
+			}),
+		mustTable("S2",
+			[]string{"Practice", "City", "Postcode", "Payment"},
+			[][]string{
+				{"The London Clinic", "London", "W1G 6BW", "73648"},
+				{"Blackfriars", "Salford", "M3 6AF", "15530"},
+				{"Radclife Care", "Manchester", "M26 2SP", "20081"},
+			}),
+		mustTable("S3",
+			[]string{"GP", "Location", "Opening hours"},
+			[][]string{
+				{"Blackfriars", "Salford", "08:00-18:00"},
+				{"Radclife Care", "-", "07:00-20:00"},
+			}),
+	} {
+		if _, err := lake.Add(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := mustTable("T",
+		[]string{"Practice", "Street", "City", "Postcode"},
+		[][]string{
+			{"Radclife", "69 Church St", "Manchester", "M26 2SP"},
+			{"Blackfriars", "1a Chapel St", "Salford", "M3 6AF"},
+		})
+
+	// A batch of queries through one worker pool.
+	answers, err := engine.BatchTopK([]*d3l.Table{target, target}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch of 2 identical queries:")
+	for i, ranked := range answers {
+		fmt.Printf("  query %d:", i)
+		for _, r := range ranked {
+			fmt.Printf(" %s(%.3f)", r.Name, r.Distance)
+		}
+		fmt.Println()
+	}
+
+	// The lake gains a table while the engine serves.
+	s4 := mustTable("S4_payments",
+		[]string{"Practice", "City", "Postcode", "Payment"},
+		[][]string{
+			{"Blackfriars", "Salford", "M3 6AF", "16102"},
+			{"Radclife Care", "Manchester", "M26 2SP", "19874"},
+		})
+	if _, err := engine.Add(s4); err != nil {
+		log.Fatal(err)
+	}
+	results, err := engine.TopK(target, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after Add(S4_payments):")
+	for _, r := range results {
+		fmt.Printf("  %-12s %.3f\n", r.Name, r.Distance)
+	}
+
+	// And loses it again.
+	if err := engine.Remove("S4_payments"); err != nil {
+		log.Fatal(err)
+	}
+	results, err = engine.TopK(target, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after Remove(S4_payments):")
+	for _, r := range results {
+		fmt.Printf("  %-12s %.3f\n", r.Name, r.Distance)
+	}
+}

@@ -1,0 +1,3 @@
+module d3l
+
+go 1.24

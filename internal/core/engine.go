@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"d3l/internal/lsh"
@@ -13,15 +12,26 @@ import (
 // Engine is an indexed data lake: the four LSH indexes I_N, I_V, I_F,
 // I_E of Algorithm 1 over per-attribute profiles, ready for top-k
 // relatedness queries.
+//
+// An Engine is safe for concurrent use: queries (Search, TopK,
+// BatchTopK, Explain, the lookup helpers) hold a read lock and run
+// concurrently with each other, while mutations (Add, Remove) take the
+// write lock and serialise against queries. The embedded Lake must only
+// be mutated through the Engine once queries may be in flight.
 type Engine struct {
 	opts       Options
 	lake       *table.Lake
 	prof       *profiler
 	classifier *subject.Classifier
 
+	// mu guards every field below it plus the lake contents. Queries
+	// take it in read mode, Add/Remove in write mode.
+	mu sync.RWMutex
+
 	profiles []Profile // attribute id -> profile
 	byTable  [][]int   // table id -> attribute ids
 	subjects []int     // table id -> subject attribute id (-1 if none)
+	alive    []bool    // table id -> still indexed (false after Remove)
 
 	forestN *lsh.Forest
 	forestV *lsh.Forest
@@ -49,6 +59,7 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 		classifier: opts.subjectClassifier(),
 		byTable:    make([][]int, lake.Len()),
 		subjects:   make([]int, lake.Len()),
+		alive:      make([]bool, lake.Len()),
 	}
 	e.forestN = lsh.MustForest(opts.ForestTrees, opts.ForestHashes)
 	e.forestV = lsh.MustForest(opts.ForestTrees, opts.ForestHashes)
@@ -63,6 +74,7 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 	tableProfiles := e.profileAllTables(opts.Parallelism)
 	for tid := range lake.Tables() {
 		e.subjects[tid] = -1
+		e.alive[tid] = true
 		profiles := tableProfiles[tid]
 		for i := range profiles {
 			attrID := len(e.profiles)
@@ -71,24 +83,8 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 			if profiles[i].Subject {
 				e.subjects[tid] = attrID
 			}
-			p := &e.profiles[attrID]
-			if err := e.forestN.Add(int32(attrID), p.QSig); err != nil {
+			if err := e.insertForests(attrID, &e.profiles[attrID]); err != nil {
 				return nil, err
-			}
-			if err := e.forestF.Add(int32(attrID), p.RSig); err != nil {
-				return nil, err
-			}
-			if !p.Numeric {
-				// Numeric attributes are not inserted into I_V or I_E
-				// (Section III-C).
-				if err := e.forestV.Add(int32(attrID), p.TSig); err != nil {
-					return nil, err
-				}
-				if !p.EZero {
-					if err := e.forestE.Add(int32(attrID), p.ESig.HashValues()); err != nil {
-						return nil, err
-					}
-				}
 			}
 		}
 	}
@@ -99,36 +95,39 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// insertForests places one attribute's signatures into the four
+// forests under the Section III-C placement rules: numeric attributes
+// are not inserted into I_V or I_E, and attributes with no embeddable
+// content skip I_E. It serves both the build phase (forests not yet
+// indexed) and incremental Add (sorted insertion).
+func (e *Engine) insertForests(attrID int, p *Profile) error {
+	if err := e.forestN.Insert(int32(attrID), p.QSig); err != nil {
+		return err
+	}
+	if err := e.forestF.Insert(int32(attrID), p.RSig); err != nil {
+		return err
+	}
+	if !p.Numeric {
+		if err := e.forestV.Insert(int32(attrID), p.TSig); err != nil {
+			return err
+		}
+		if !p.EZero {
+			if err := e.forestE.Insert(int32(attrID), p.ESig.HashValues()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // profileAllTables runs Algorithm 1 over every table with the given
 // parallelism, returning per-table profile slices in table order.
 func (e *Engine) profileAllTables(parallelism int) [][]Profile {
 	tables := e.lake.Tables()
 	out := make([][]Profile, len(tables))
-	if parallelism == 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism <= 1 || len(tables) < 2 {
-		for tid, t := range tables {
-			out[tid] = e.prof.ProfileTable(tid, t, e.classifier)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tid := range work {
-				out[tid] = e.prof.ProfileTable(tid, tables[tid], e.classifier)
-			}
-		}()
-	}
-	for tid := range tables {
-		work <- tid
-	}
-	close(work)
-	wg.Wait()
+	forEachIndex(len(tables), parallelism, func(tid int) {
+		out[tid] = e.prof.ProfileTable(tid, tables[tid], e.classifier)
+	})
 	return out
 }
 
@@ -146,23 +145,54 @@ func embedForestLayout(embedBits int) (trees, hashes int) {
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
 
-// Lake returns the indexed lake.
+// Lake returns the indexed lake. Mutate it only through Engine.Add and
+// Engine.Remove once queries may be running concurrently.
 func (e *Engine) Lake() *table.Lake { return e.lake }
 
-// NumAttributes reports the number of indexed attributes.
-func (e *Engine) NumAttributes() int { return len(e.profiles) }
+// NumAttributes reports the number of indexed attributes, including
+// tombstoned attributes of removed tables (attribute ids are stable).
+func (e *Engine) NumAttributes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.profiles)
+}
 
-// Profile returns the profile of an attribute id.
-func (e *Engine) Profile(attrID int) *Profile { return &e.profiles[attrID] }
+// Profile returns the profile of an attribute id. Profiles of live
+// attributes are immutable, but Remove clears the payload of its
+// table's profiles in place (under the write lock), so callers that
+// retain the returned pointer beyond this call must serialise with
+// mutations externally — as d3l.Engine does for the join-graph
+// builders, the one code path that holds profiles across accessor
+// calls.
+func (e *Engine) Profile(attrID int) *Profile {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return &e.profiles[attrID]
+}
 
 // TableAttrs returns the attribute ids of a table.
-func (e *Engine) TableAttrs(tableID int) []int { return e.byTable[tableID] }
+func (e *Engine) TableAttrs(tableID int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.byTable[tableID]
+}
 
 // SubjectAttr returns the subject attribute id of a table and whether
 // one exists.
 func (e *Engine) SubjectAttr(tableID int) (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	s := e.subjects[tableID]
 	return s, s >= 0
+}
+
+// AliveTable reports whether a table id is still indexed (false after
+// Remove). Ids of removed tables remain valid for Lake lookups but no
+// longer produce candidates.
+func (e *Engine) AliveTable(tableID int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return tableID >= 0 && tableID < len(e.alive) && e.alive[tableID]
 }
 
 // ProfileTarget profiles a table outside the lake through the same
@@ -174,6 +204,8 @@ func (e *Engine) ProfileTarget(t *table.Table) []Profile {
 // IndexSpaceBytes reports the total size of the four forests plus the
 // profile store — the numerator of the Table II space overhead.
 func (e *Engine) IndexSpaceBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	total := e.forestN.SpaceBytes() + e.forestV.SpaceBytes() + e.forestF.SpaceBytes() + e.forestE.SpaceBytes()
 	for i := range e.profiles {
 		total += e.profiles[i].SpaceBytes()

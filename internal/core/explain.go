@@ -21,7 +21,11 @@ type PairExplanation struct {
 // pairs related by at least one index (distance < 1 on some evidence)
 // are reported, as in the paper's grouping step.
 func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanation, error) {
-	tid, ok := e.lake.IDByName(lakeTable)
+	// Check the name before profiling the target: profiling is the
+	// dominant cost and must not be spent on the error path.
+	e.mu.RLock()
+	_, ok := e.lake.IDByName(lakeTable)
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no table %q in the lake", lakeTable)
 	}
@@ -32,8 +36,16 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 			tsubject = &tprofiles[i]
 		}
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	// Re-resolve under the query lock: the table may have been removed
+	// between the cheap check and here.
+	tid, ok := e.lake.IDByName(lakeTable)
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q in the lake", lakeTable)
+	}
 	var candSubject *Profile
-	if s, ok := e.SubjectAttr(tid); ok {
+	if s := e.subjects[tid]; s >= 0 {
 		candSubject = &e.profiles[s]
 	}
 	var rows []PairExplanation

@@ -6,6 +6,8 @@ package core
 // Section IV, which relies on I_V to identify postulated inclusion
 // dependencies.
 func (e *Engine) VCandidates(attrID int, budget int) []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p := &e.profiles[attrID]
 	if p.Numeric || p.TSize == 0 {
 		return nil
@@ -30,6 +32,8 @@ func (e *Engine) Threshold() float64 { return e.opts.Threshold }
 // is related to any target attribute by any index (the Algorithm 3 path
 // guard "Ni ∈ I*.lookup(T)").
 func (e *Engine) TableRelatedToTarget(tableID int, targetProfiles []Profile) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for _, attrID := range e.byTable[tableID] {
 		cand := &e.profiles[attrID]
 		for i := range targetProfiles {
@@ -45,6 +49,8 @@ func (e *Engine) TableRelatedToTarget(tableID int, targetProfiles []Profile) boo
 // to some attribute of the lake table by any index — the numerator of
 // the Eq. 4 coverage.
 func (e *Engine) RelatedTargetColumns(tableID int, targetProfiles []Profile) map[int]bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make(map[int]bool)
 	for _, attrID := range e.byTable[tableID] {
 		cand := &e.profiles[attrID]
@@ -61,6 +67,8 @@ func (e *Engine) RelatedTargetColumns(tableID int, targetProfiles []Profile) map
 // column indices related to it by any index (used for attribute
 // precision, Experiments 9 and 11).
 func (e *Engine) RelatedColumnPairs(tableID int, targetProfiles []Profile) map[int][]int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make(map[int][]int)
 	for _, attrID := range e.byTable[tableID] {
 		cand := &e.profiles[attrID]

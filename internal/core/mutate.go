@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"d3l/internal/table"
+)
+
+// Add profiles a table through the same Algorithm 1 code path as
+// BuildEngine and splices its attribute signatures into the four
+// indexes, making the table immediately discoverable. Profiling — the
+// expensive part — happens outside the engine lock, so in-flight
+// queries are blocked only for the index splice itself.
+//
+// An engine built over a lake and an engine that reaches the same lake
+// contents through Add answer top-k queries identically (the
+// incremental-correctness property the tests assert).
+func (e *Engine) Add(t *table.Table) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("core: nil table")
+	}
+	// Profile with a placeholder table id; signatures do not depend on
+	// it, and the real id is stamped once the lake assigns one.
+	return e.AddProfiled(t, e.prof.ProfileTable(-1, t, e.classifier))
+}
+
+// AddProfiled is the locked splice half of Add: callers that must
+// keep profiling outside their own locks (the public d3l engine does)
+// profile via ProfileTarget first and hand the result in. profiles
+// must come from this engine's profiler for exactly t.
+func (e *Engine) AddProfiled(t *table.Table, profiles []Profile) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("core: nil table")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tid, err := e.lake.Add(t)
+	if err != nil {
+		return 0, err
+	}
+	// Lake ids and the engine's per-table slices grow in lockstep:
+	// BuildEngine covers every lake table and Remove tombstones slots
+	// instead of compacting, so tid == len(e.byTable) here.
+	e.byTable = append(e.byTable, nil)
+	e.subjects = append(e.subjects, -1)
+	e.alive = append(e.alive, true)
+	preAttrs := len(e.profiles)
+	for i := range profiles {
+		profiles[i].Ref.TableID = tid
+		attrID := len(e.profiles)
+		e.profiles = append(e.profiles, profiles[i])
+		e.byTable[tid] = append(e.byTable[tid], attrID)
+		if profiles[i].Subject {
+			e.subjects[tid] = attrID
+		}
+		if err := e.insertForests(attrID, &e.profiles[attrID]); err != nil {
+			// Roll back to a clean tombstone: un-splice everything this
+			// table put into the forests (deleteForests tolerates keys
+			// the failed insert never wrote), drop the tail profiles,
+			// and free the name — a failed Add must not leave a
+			// half-discoverable table behind.
+			for _, aid := range e.byTable[tid] {
+				e.deleteForests(aid, &e.profiles[aid])
+			}
+			e.profiles = e.profiles[:preAttrs]
+			e.byTable[tid] = nil
+			e.subjects[tid] = -1
+			e.alive[tid] = false
+			e.lake.Remove(t.Name)
+			return 0, err
+		}
+	}
+	return tid, nil
+}
+
+// deleteForests removes one attribute's keys from the four forests,
+// mirroring the insertForests placement rules. Missing keys are
+// tolerated (Delete reports not-found without error), which makes it
+// usable both for Remove and for rolling back a partial Add.
+func (e *Engine) deleteForests(attrID int, p *Profile) error {
+	if _, err := e.forestN.Delete(int32(attrID), p.QSig); err != nil {
+		return err
+	}
+	if _, err := e.forestF.Delete(int32(attrID), p.RSig); err != nil {
+		return err
+	}
+	if !p.Numeric {
+		if _, err := e.forestV.Delete(int32(attrID), p.TSig); err != nil {
+			return err
+		}
+		if !p.EZero {
+			if _, err := e.forestE.Delete(int32(attrID), p.ESig.HashValues()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Remove deletes the named table from the engine: its attribute keys
+// leave all four indexes, so it can no longer be retrieved by any
+// query. The table id slot is tombstoned rather than compacted —
+// attribute and table ids of other tables are unaffected — and the
+// name becomes free for a later Add. Outstanding ids still resolve
+// through the Lake (to a name-only stub). Tombstoned attribute
+// profiles are reduced to metadata so Add/Remove churn does not
+// accumulate dead signatures and extents.
+func (e *Engine) Remove(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tid, ok := e.lake.IDByName(name)
+	if !ok {
+		return fmt.Errorf("core: no table %q in the lake", name)
+	}
+	for _, attrID := range e.byTable[tid] {
+		p := &e.profiles[attrID]
+		if err := e.deleteForests(attrID, p); err != nil {
+			return err
+		}
+		// Release the signature and extent payload: the attribute can
+		// never surface as a candidate again (its forest keys are
+		// gone), and the join builders skip dead tables. This is an
+		// in-place write under the write lock — see the Profile method
+		// doc for the pointer-retention rule it imposes.
+		e.profiles[attrID] = Profile{
+			Ref:     p.Ref,
+			Name:    p.Name,
+			Numeric: p.Numeric,
+			Subject: p.Subject,
+			EZero:   true,
+		}
+	}
+	e.alive[tid] = false
+	e.lake.Remove(name)
+	return nil
+}

@@ -46,10 +46,12 @@ type Options struct {
 	// weights in the Eq. 1 aggregation — the ablation that isolates the
 	// contribution of the distribution-aware weighting scheme.
 	UniformEq1Weights bool
-	// Parallelism is the number of worker goroutines profiling tables
-	// during BuildEngine. 0 selects GOMAXPROCS; 1 forces sequential
-	// builds. Profiles are deterministic, so the produced indexes are
-	// identical at any setting.
+	// Parallelism bounds the worker pools on both sides of the engine:
+	// table profiling during BuildEngine, the per-column candidate
+	// fan-out and per-table scoring inside Search, and the number of
+	// concurrent queries a BatchTopK call runs. 0 selects GOMAXPROCS;
+	// 1 forces sequential execution. Profiles, indexes and rankings are
+	// deterministic, so results are identical at any setting.
 	Parallelism int
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs fn(i) for every i in [0,n) across at most
+// parallelism goroutines and returns once all calls have finished.
+// parallelism 0 selects GOMAXPROCS; 1 (or n < 2) runs inline. Work is
+// handed out through an atomic counter, so cheap and expensive items
+// mix without a scheduling barrier. fn must write only to its own
+// index's state.
+func forEachIndex(n, parallelism int, fn func(int)) {
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// queryParallelism resolves Options.Parallelism for the query side.
+func (e *Engine) queryParallelism() int {
+	if e.opts.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.opts.Parallelism
+}

@@ -57,14 +57,59 @@ type candidatePair struct {
 	dist      DistanceVector
 }
 
-// Search runs the full Section III-D pipeline.
+// Search runs the full Section III-D pipeline, fanning candidate
+// generation out across target columns and candidate-table scoring
+// across a worker pool bounded by Options.Parallelism. The ranking is
+// deterministic: at any parallelism it is identical to the sequential
+// path (candidates are processed in attribute-id order and the final
+// sort breaks distance ties by name).
 func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
+	return e.search(target, k, e.queryParallelism())
+}
+
+// BatchTopK answers one top-k query per target, running the queries
+// concurrently across Options.Parallelism workers — the serving
+// primitive for many-user traffic. Each query runs its own pipeline
+// sequentially (cross-query parallelism already saturates the pool)
+// under its own read lock, so batches proceed concurrently with other
+// queries and interleave safely with Add/Remove; a mutation landing
+// mid-batch is consequently visible to some answers and not others,
+// exactly as if the queries had been issued individually. The answer
+// slice is indexed like targets; the first query error aborts the
+// batch.
+func (e *Engine) BatchTopK(targets []*table.Table, k int) ([][]TableResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	out := make([][]TableResult, len(targets))
+	errs := make([]error, len(targets))
+	forEachIndex(len(targets), e.queryParallelism(), func(i int) {
+		res, err := e.search(targets[i], k, 1)
+		if err != nil {
+			errs[i] = fmt.Errorf("target %d: %w", i, err)
+			return
+		}
+		out[i] = res.Ranked
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// search is the Section III-D pipeline at an explicit parallelism
+// (tests compare parallel against sequential output directly).
+func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult, error) {
 	if target == nil {
 		return nil, fmt.Errorf("core: nil target")
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	// Profiling the target touches only the immutable hash machinery,
+	// so it runs outside the lock and never delays mutations.
 	tprofiles := e.ProfileTarget(target)
 	var tsubject *Profile
 	for i := range tprofiles {
@@ -81,9 +126,13 @@ func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
 		}
 	}
 
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
 	// Phase 1: per target attribute, gather candidates from the four
-	// indexes and compute pair distances.
-	pairs := e.gatherPairs(tprofiles, tsubject, budget)
+	// indexes and compute pair distances. Columns are independent, so
+	// they fan out across the pool.
+	pairs := e.gatherPairs(tprofiles, tsubject, budget, parallelism)
 
 	// Phase 2: per (target column, evidence type), build the R_t
 	// distance distributions backing the Eq. 2 CCDF weights.
@@ -93,25 +142,41 @@ func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
 	}
 
 	// Phase 3: group by candidate table, align columns, aggregate.
+	// Tables are scored independently across the pool; the slot-per-
+	// table layout keeps output order independent of worker timing.
 	byTable := make(map[int][]candidatePair)
 	for _, p := range pairs {
 		tid := e.profiles[p.attrID].Ref.TableID
 		byTable[tid] = append(byTable[tid], p)
 	}
-	results := make([]TableResult, 0, len(byTable))
-	for tid, tablePairs := range byTable {
-		aligns := e.alignColumns(tablePairs)
+	tids := make([]int, 0, len(byTable))
+	for tid := range byTable {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	scored := make([]TableResult, len(tids))
+	valid := make([]bool, len(tids))
+	forEachIndex(len(tids), parallelism, func(i int) {
+		tid := tids[i]
+		aligns := e.alignColumns(byTable[tid])
 		if len(aligns) == 0 {
-			continue
+			return
 		}
 		vec := aggregateEq1(aligns, ecdfs, e.opts.Disabled)
-		results = append(results, TableResult{
+		scored[i] = TableResult{
 			TableID:    tid,
 			Name:       e.lake.Table(tid).Name,
 			Distance:   e.combineEq3(vec),
 			Vector:     vec,
 			Alignments: aligns,
-		})
+		}
+		valid[i] = true
+	})
+	results := make([]TableResult, 0, len(tids))
+	for i := range scored {
+		if valid[i] {
+			results = append(results, scored[i])
+		}
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Distance != results[j].Distance {
@@ -132,48 +197,68 @@ func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
 
 // gatherPairs performs the index lookups of Section III-D: for each
 // target attribute, each index contributes candidates, and every
-// distinct candidate gets a full distance vector.
-func (e *Engine) gatherPairs(tprofiles []Profile, tsubject *Profile, budget int) []candidatePair {
+// distinct candidate gets a full distance vector. Columns fan out
+// across the worker pool; within a column candidates are processed in
+// ascending attribute-id order, which (together with the per-column
+// result slots) makes the pair list identical at any parallelism.
+// Callers must hold e.mu.
+func (e *Engine) gatherPairs(tprofiles []Profile, tsubject *Profile, budget, parallelism int) []candidatePair {
+	perCol := make([][]candidatePair, len(tprofiles))
+	forEachIndex(len(tprofiles), parallelism, func(col int) {
+		perCol[col] = e.gatherColumn(col, &tprofiles[col], tsubject, budget)
+	})
 	var pairs []candidatePair
-	for col := range tprofiles {
-		tp := &tprofiles[col]
-		seen := make(map[int32]struct{})
-		collect := func(ids []int32) {
-			for _, id := range ids {
-				seen[id] = struct{}{}
-			}
-		}
-		if !e.opts.Disabled[EvidenceName] {
-			if ids, err := e.forestN.Query(tp.QSig, budget); err == nil {
-				collect(ids)
-			}
-		}
-		if !e.opts.Disabled[EvidenceValue] && !tp.Numeric {
-			if ids, err := e.forestV.Query(tp.TSig, budget); err == nil {
-				collect(ids)
-			}
-		}
-		if !e.opts.Disabled[EvidenceFormat] {
-			if ids, err := e.forestF.Query(tp.RSig, budget); err == nil {
-				collect(ids)
-			}
-		}
-		if !e.opts.Disabled[EvidenceEmbedding] && !tp.EZero {
-			if ids, err := e.forestE.Query(tp.ESig.HashValues(), budget); err == nil {
-				collect(ids)
-			}
-		}
-		for id := range seen {
-			cand := &e.profiles[id]
-			var candSubject *Profile
-			if s, ok := e.SubjectAttr(cand.Ref.TableID); ok {
-				candSubject = &e.profiles[s]
-			}
-			d := e.PairDistances(tp, cand, tsubject, candSubject)
-			pairs = append(pairs, candidatePair{targetCol: col, attrID: int(id), dist: d})
-		}
+	for _, colPairs := range perCol {
+		pairs = append(pairs, colPairs...)
 	}
 	return pairs
+}
+
+// gatherColumn collects the deduplicated candidate set of one target
+// column from the four forests and computes the pair distances.
+func (e *Engine) gatherColumn(col int, tp *Profile, tsubject *Profile, budget int) []candidatePair {
+	seen := make(map[int32]struct{})
+	collect := func(ids []int32) {
+		for _, id := range ids {
+			seen[id] = struct{}{}
+		}
+	}
+	if !e.opts.Disabled[EvidenceName] {
+		if ids, err := e.forestN.Query(tp.QSig, budget); err == nil {
+			collect(ids)
+		}
+	}
+	if !e.opts.Disabled[EvidenceValue] && !tp.Numeric {
+		if ids, err := e.forestV.Query(tp.TSig, budget); err == nil {
+			collect(ids)
+		}
+	}
+	if !e.opts.Disabled[EvidenceFormat] {
+		if ids, err := e.forestF.Query(tp.RSig, budget); err == nil {
+			collect(ids)
+		}
+	}
+	if !e.opts.Disabled[EvidenceEmbedding] && !tp.EZero {
+		if ids, err := e.forestE.Query(tp.ESig.HashValues(), budget); err == nil {
+			collect(ids)
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]candidatePair, 0, len(ids))
+	for _, id := range ids {
+		cand := &e.profiles[id]
+		var candSubject *Profile
+		if s := e.subjects[cand.Ref.TableID]; s >= 0 {
+			candSubject = &e.profiles[s]
+		}
+		d := e.PairDistances(tp, cand, tsubject, candSubject)
+		out = append(out, candidatePair{targetCol: col, attrID: id, dist: d})
+	}
+	return out
 }
 
 // distanceECDFs holds, per target column and evidence type, the ECDF of
@@ -236,7 +321,10 @@ func (e *Engine) alignColumns(tablePairs []candidatePair) []Alignment {
 	best := make(map[int]candidatePair)
 	for _, p := range tablePairs {
 		cur, ok := best[p.targetCol]
-		if !ok || p.dist.Mean() < cur.dist.Mean() {
+		// Ties break towards the smaller attribute id so the alignment
+		// does not depend on candidate arrival order.
+		if !ok || p.dist.Mean() < cur.dist.Mean() ||
+			(p.dist.Mean() == cur.dist.Mean() && p.attrID < cur.attrID) {
 			best[p.targetCol] = p
 		}
 	}

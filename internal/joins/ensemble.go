@@ -26,7 +26,7 @@ func BuildGraphEnsemble(e *core.Engine, opts GraphOptions) (*Graph, error) {
 	}
 	for attrID := 0; attrID < e.NumAttributes(); attrID++ {
 		p := e.Profile(attrID)
-		if p.Numeric || p.TSize == 0 {
+		if p.Numeric || p.TSize == 0 || !e.AliveTable(p.Ref.TableID) {
 			continue
 		}
 		if err := builder.Add(int32(attrID), p.TSize, []uint64(p.TSig)); err != nil {
@@ -41,6 +41,9 @@ func BuildGraphEnsemble(e *core.Engine, opts GraphOptions) (*Graph, error) {
 	g := &Graph{engine: e, adj: make(map[int][]Edge)}
 	seen := make(map[[2]int]bool)
 	for tid := 0; tid < lake.Len(); tid++ {
+		if !e.AliveTable(tid) {
+			continue // tombstoned by Engine.Remove
+		}
 		subj, ok := e.SubjectAttr(tid)
 		if !ok {
 			continue

@@ -56,6 +56,9 @@ func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
 	lake := e.Lake()
 	seen := make(map[[2]int]bool) // undirected table-pair dedup
 	for tid := 0; tid < lake.Len(); tid++ {
+		if !e.AliveTable(tid) {
+			continue // tombstoned by Engine.Remove
+		}
 		subj, ok := e.SubjectAttr(tid)
 		if !ok {
 			continue
@@ -64,7 +67,7 @@ func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
 		for _, candID := range e.VCandidates(subj, opts.CandidateBudget) {
 			cp := e.Profile(candID)
 			otherTID := cp.Ref.TableID
-			if otherTID == tid {
+			if otherTID == tid || !e.AliveTable(otherTID) {
 				continue
 			}
 			key := [2]int{tid, otherTID}

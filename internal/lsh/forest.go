@@ -86,6 +86,74 @@ func (f *Forest) Add(id int32, sig []uint64) error {
 	return nil
 }
 
+// Insert adds an item to the forest at any point of its lifecycle.
+// Before Index it is equivalent to Add; after Index it splices the
+// entry into each tree's sorted array, so the forest stays queryable —
+// this is what makes incremental engine maintenance possible. An
+// insert is O(n) per tree (memmove), which is fine for the
+// one-table-at-a-time mutation rate of a data lake.
+func (f *Forest) Insert(id int32, sig []uint64) error {
+	if !f.indexed {
+		return f.Add(id, sig)
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	h := f.hashesPerTree
+	for t := 0; t < f.numTrees; t++ {
+		tree := &f.trees[t]
+		key := f.key(t, sig)
+		n := len(tree.ids)
+		pos := sort.Search(n, func(i int) bool {
+			return bytes.Compare(tree.keys[i*h:i*h+h], key) >= 0
+		})
+		tree.keys = append(tree.keys, make([]byte, h)...)
+		copy(tree.keys[(pos+1)*h:], tree.keys[pos*h:n*h])
+		copy(tree.keys[pos*h:], key)
+		tree.ids = append(tree.ids, 0)
+		copy(tree.ids[pos+1:], tree.ids[pos:n])
+		tree.ids[pos] = id
+	}
+	f.count++
+	return nil
+}
+
+// Delete removes the entry with the given id from an indexed forest,
+// locating it by its signature (the same one it was inserted with).
+// It reports whether the item was found. Deleting from an un-indexed
+// forest is an error: the build phase has no removal semantics.
+func (f *Forest) Delete(id int32, sig []uint64) (bool, error) {
+	if !f.indexed {
+		return false, fmt.Errorf("lsh: Delete before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return false, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	h := f.hashesPerTree
+	found := false
+	for t := 0; t < f.numTrees; t++ {
+		tree := &f.trees[t]
+		key := f.key(t, sig)
+		lo, hi := f.prefixRange(tree, key, h)
+		for i := lo; i < hi; i++ {
+			if tree.ids[i] != id {
+				continue
+			}
+			n := len(tree.ids)
+			copy(tree.keys[i*h:], tree.keys[(i+1)*h:n*h])
+			tree.keys = tree.keys[:(n-1)*h]
+			copy(tree.ids[i:], tree.ids[i+1:])
+			tree.ids = tree.ids[:n-1]
+			found = true
+			break
+		}
+	}
+	if found {
+		f.count--
+	}
+	return found, nil
+}
+
 // Index sorts the trees; it must be called once after the last Add and
 // before the first Query. Calling it again is a no-op.
 func (f *Forest) Index() {

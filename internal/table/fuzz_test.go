@@ -1,0 +1,52 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary (frequently malformed) CSV input to the
+// table reader: it must either return a table satisfying the package
+// invariants or an error — never panic. Open-data lakes are full of
+// ragged, quoted, and truncated files, and this is the boundary where
+// they enter the system.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,c\n1,2,3\n")
+	f.Add("a,b\n1\n1,2,3,4\n")                 // ragged rows both ways
+	f.Add("\"unclosed quote\na,b\n")           // malformed quoting
+	f.Add("a,a,a\nx,y,z\n")                    // duplicate headers
+	f.Add("")                                  // empty input
+	f.Add("\n\n\n")                            // blank records
+	f.Add("a;b\r\n1;2\r\n")                    // CRLF, wrong delimiter
+	f.Add("col\n" + strings.Repeat("v\n", 50)) // long single column
+	f.Add("a,b\n\"x\"\"y\",2\n")               // escaped quotes
+	f.Add("\xef\xbb\xbfa,b\n1,2\n")            // BOM
+	f.Add("a,\xff\xfe\n\x00,2\n")              // junk bytes
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		if tab.Arity() == 0 {
+			t.Fatalf("ReadCSV accepted %q but produced a table with no columns", data)
+		}
+		rows := tab.Rows()
+		for _, c := range tab.Columns {
+			if len(c.Values) != rows {
+				t.Fatalf("ReadCSV(%q): column %q has %d values, table has %d rows", data, c.Name, len(c.Values), rows)
+			}
+		}
+		// The parsed table must survive the rest of the pipeline's
+		// basic accessors without panicking.
+		_ = tab.DataBytes()
+		_ = tab.NumericColumnFraction()
+		for _, c := range tab.Columns {
+			_ = c.NonNull()
+			_ = c.NullFraction()
+			_ = c.DistinctFraction()
+			if c.Type == Numeric && c.NumericExtent() == nil {
+				t.Fatalf("ReadCSV(%q): numeric column %q with nil extent", data, c.Name)
+			}
+		}
+	})
+}

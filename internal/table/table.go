@@ -282,6 +282,23 @@ func (l *Lake) Add(t *Table) (int, error) {
 	return id, nil
 }
 
+// Remove detaches the named table: the name becomes free for reuse by
+// a later Add, while the id slot is retained so outstanding ids stay
+// valid and other ids never shift. The slot is reduced to a name-only
+// stub — the column payload is released, so serve-while-mutating
+// workloads don't accumulate dead extents. It reports the freed id
+// and whether the name was present. Len keeps counting detached
+// slots; engines track liveness.
+func (l *Lake) Remove(name string) (int, bool) {
+	id, ok := l.byName[name]
+	if !ok {
+		return 0, false
+	}
+	delete(l.byName, name)
+	l.tables[id] = &Table{Name: name}
+	return id, true
+}
+
 // Len reports the number of tables.
 func (l *Lake) Len() int { return len(l.tables) }
 

@@ -12,7 +12,9 @@
 package d3l_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -359,6 +361,84 @@ func BenchmarkParallelSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.TopK(targets[i%len(targets)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Snapshot cold-start benchmarks ---
+//
+// BenchmarkColdStartRebuild and BenchmarkLoadSnapshot are the two ways
+// a serving replica can come up on the same synthetic lake: re-profile
+// and re-index every CSV, or deserialise a prebuilt snapshot.
+// Profiling dominates indexing cost (the paper's Experiment 4
+// observation), so the snapshot path is expected to be well over an
+// order of magnitude faster — the build-once/serve-many property the
+// `d3l index build` / `d3l query -index` flow relies on.
+
+// benchSnapshotLake is the lake both cold-start benchmarks come up on.
+func benchSnapshotLake(b *testing.B) *d3l.Lake {
+	b.Helper()
+	cfg := datagen.SyntheticConfig{
+		Seed:          42,
+		BaseTables:    8,
+		DerivedTables: 120,
+		MinRows:       30,
+		MaxRows:       60,
+		RenameProb:    0.25,
+	}
+	lake, _, err := datagen.Synthetic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lake
+}
+
+// BenchmarkColdStartRebuild is the baseline: build the engine from the
+// raw lake on every start.
+func BenchmarkColdStartRebuild(b *testing.B) {
+	lake := benchSnapshotLake(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d3l.New(lake, d3l.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadSnapshot is the serve-many path: cold-start a replica
+// from a prebuilt snapshot of the same lake.
+func BenchmarkLoadSnapshot(b *testing.B) {
+	lake := benchSnapshotLake(b)
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d3l.Save(engine, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d3l.Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaveSnapshot measures the write side (taken under the read
+// lock, so this is also the longest a snapshot delays mutations).
+func BenchmarkSaveSnapshot(b *testing.B) {
+	lake := benchSnapshotLake(b)
+	engine, err := d3l.New(lake, d3l.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d3l.Save(engine, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

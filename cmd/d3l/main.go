@@ -1,19 +1,29 @@
 // Command d3l is the CLI for the D3L dataset-discovery library: it
-// generates evaluation lakes, indexes CSV directories, answers top-k
-// discovery queries (with or without join augmentation), and re-runs
-// every experiment of the paper's evaluation.
+// generates evaluation lakes, indexes CSV directories (once, into a
+// reusable binary snapshot), answers top-k discovery queries (with or
+// without join augmentation), and re-runs every experiment of the
+// paper's evaluation.
 //
 // Usage:
 //
-//	d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
-//	d3l query    -dir DIR -target FILE.csv -k K [-joins]
-//	d3l batch    -dir DIR -targets DIR -k K [-workers N]
-//	d3l explain  -dir DIR -target FILE.csv -table NAME
-//	d3l stats    -dir DIR
-//	d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
+//	d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
+//	d3l index build -dir DIR -out FILE.d3l [-workers N]
+//	d3l index info  -index FILE.d3l
+//	d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
+//	d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
+//	d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
+//	d3l stats       -dir DIR
+//	d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
+//
+// The build-once/serve-many flow: `d3l index build` profiles and
+// indexes a CSV directory and snapshots the engine to disk; `d3l query
+// -index` (and batch/explain) then cold-start from the snapshot in
+// milliseconds instead of re-profiling the lake, returning the same
+// results as the direct -dir path.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +32,7 @@ import (
 	"d3l"
 	"d3l/internal/datagen"
 	"d3l/internal/experiments"
+	"d3l/internal/persist"
 )
 
 func main() {
@@ -33,6 +44,8 @@ func main() {
 	switch os.Args[1] {
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "batch":
@@ -58,12 +71,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  d3l generate -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
-  d3l query    -dir DIR -target FILE.csv -k K [-joins]
-  d3l batch    -dir DIR -targets DIR -k K [-workers N]
-  d3l explain  -dir DIR -target FILE.csv -table NAME
-  d3l stats    -dir DIR
-  d3l exp      -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
+  d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
+  d3l index build -dir DIR -out FILE.d3l [-workers N]
+  d3l index info  -index FILE.d3l
+  d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
+  d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
+  d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
+  d3l stats       -dir DIR
+  d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
 }
 
 func cmdGenerate(args []string) error {
@@ -115,7 +130,21 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-func loadEngine(dir string) (*d3l.Engine, error) {
+// loadEngine resolves the two engine sources: a prebuilt snapshot
+// (instant cold-start) or a CSV directory (profile and index now).
+// Exactly one of index and dir must be set.
+func loadEngine(dir, index string) (*d3l.Engine, error) {
+	if (dir == "") == (index == "") {
+		return nil, fmt.Errorf("exactly one of -dir and -index is required")
+	}
+	if index != "" {
+		f, err := os.Open(index)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return d3l.Load(f)
+	}
 	lake, err := d3l.LoadLakeDir(dir)
 	if err != nil {
 		return nil, err
@@ -123,19 +152,138 @@ func loadEngine(dir string) (*d3l.Engine, error) {
 	return d3l.New(lake, d3l.DefaultOptions())
 }
 
+// cmdIndex implements the build-once half of the serving flow: build
+// snapshots an indexed lake to disk, info inspects a snapshot.
+func cmdIndex(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("index: expected a subcommand: build or info")
+	}
+	switch args[0] {
+	case "build":
+		return cmdIndexBuild(args[1:])
+	case "info":
+		return cmdIndexInfo(args[1:])
+	default:
+		return fmt.Errorf("index: unknown subcommand %q (want build or info)", args[0])
+	}
+}
+
+func cmdIndexBuild(args []string) error {
+	fs := flag.NewFlagSet("index build", flag.ExitOnError)
+	dir := fs.String("dir", "", "lake directory of CSV files")
+	out := fs.String("out", "", "output snapshot file")
+	workers := fs.Int("workers", 0, "profiling parallelism (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("index build: -dir and -out are required")
+	}
+	lake, err := d3l.LoadLakeDir(*dir)
+	if err != nil {
+		return err
+	}
+	opts := d3l.DefaultOptions()
+	opts.Parallelism = *workers
+	start := time.Now()
+	engine, err := d3l.New(lake, opts)
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+	// -workers tunes the profiling fan-out of this build only.
+	// Parallelism is a property of the serving host, so the snapshot
+	// records the GOMAXPROCS default rather than baking the build
+	// machine's setting into every future replica.
+	if err := engine.SetParallelism(0); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := d3l.Save(engine, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d tables (%d attributes) in %v\n",
+		lake.Len(), engine.NumAttributes(), built.Round(time.Millisecond))
+	fmt.Printf("wrote %s (%d bytes, %d join edges)\n", *out, st.Size(), engine.JoinGraphEdges())
+	return nil
+}
+
+func cmdIndexInfo(args []string) error {
+	fs := flag.NewFlagSet("index info", flag.ExitOnError)
+	index := fs.String("index", "", "snapshot file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" {
+		return fmt.Errorf("index info: -index is required")
+	}
+	data, err := os.ReadFile(*index)
+	if err != nil {
+		return err
+	}
+	dec, err := persist.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	// The decoder above only serves the section-size report; the engine
+	// goes through the public Load path so the printed load time is
+	// exactly what a serving replica pays (the duplicate checksum pass
+	// is noise next to profile decoding).
+	start := time.Now()
+	engine, err := d3l.Load(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	loaded := time.Since(start)
+	sizes := dec.SectionSizes()
+	fmt.Printf("snapshot:      %s (%d bytes, format v%d)\n", *index, len(data), dec.Version())
+	fmt.Printf("tables:        %d\n", engine.Lake().Len())
+	fmt.Printf("attributes:    %d\n", engine.NumAttributes())
+	fmt.Printf("index bytes:   %d\n", engine.IndexSpaceBytes())
+	fmt.Printf("join edges:    %d\n", engine.JoinGraphEdges())
+	fmt.Printf("load time:     %v\n", loaded.Round(time.Microsecond))
+	for _, s := range []struct {
+		id   uint32
+		name string
+	}{
+		{persist.SecOptions, "options"},
+		{persist.SecLake, "lake meta"},
+		{persist.SecAttrs, "profiles"},
+		{persist.SecForests, "forests"},
+		{persist.SecJoinGraph, "join graph"},
+	} {
+		if n, ok := sizes[s.id]; ok {
+			fmt.Printf("  section %-12s %d bytes\n", s.name, n)
+		}
+	}
+	return nil
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory of CSV files")
+	index := fs.String("index", "", "prebuilt snapshot (alternative to -dir)")
 	targetPath := fs.String("target", "", "target table CSV")
 	k := fs.Int("k", 10, "answer size")
 	withJoins := fs.Bool("joins", false, "augment with SA-join paths (D3L+J)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir == "" || *targetPath == "" {
-		return fmt.Errorf("query: -dir and -target are required")
+	if *targetPath == "" {
+		return fmt.Errorf("query: -target is required")
 	}
-	engine, err := loadEngine(*dir)
+	engine, err := loadEngine(*dir, *index)
 	if err != nil {
 		return err
 	}
@@ -171,24 +319,37 @@ func cmdQuery(args []string) error {
 func cmdBatch(args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory of CSV files")
+	index := fs.String("index", "", "prebuilt snapshot (alternative to -dir)")
 	targetsDir := fs.String("targets", "", "directory of target table CSVs")
 	k := fs.Int("k", 10, "answer size per target")
-	workers := fs.Int("workers", 0, "concurrent queries (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent queries (0 keeps GOMAXPROCS for -dir or the snapshot's setting for -index)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir == "" || *targetsDir == "" {
-		return fmt.Errorf("batch: -dir and -targets are required")
+	if *targetsDir == "" {
+		return fmt.Errorf("batch: -targets is required")
 	}
-	lake, err := d3l.LoadLakeDir(*dir)
+	engine, err := func() (*d3l.Engine, error) {
+		if *index != "" || *dir == "" {
+			return loadEngine(*dir, *index)
+		}
+		lake, err := d3l.LoadLakeDir(*dir)
+		if err != nil {
+			return nil, err
+		}
+		opts := d3l.DefaultOptions()
+		opts.Parallelism = *workers
+		return d3l.New(lake, opts)
+	}()
 	if err != nil {
 		return err
 	}
-	opts := d3l.DefaultOptions()
-	opts.Parallelism = *workers
-	engine, err := d3l.New(lake, opts)
-	if err != nil {
-		return err
+	// Serving concurrency is a host property: an explicit -workers
+	// overrides whatever parallelism the snapshot was built with.
+	if *workers != 0 {
+		if err := engine.SetParallelism(*workers); err != nil {
+			return err
+		}
 	}
 	targetLake, err := d3l.LoadLakeDir(*targetsDir)
 	if err != nil {
@@ -219,15 +380,16 @@ func cmdBatch(args []string) error {
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory of CSV files")
+	index := fs.String("index", "", "prebuilt snapshot (alternative to -dir)")
 	targetPath := fs.String("target", "", "target table CSV")
 	name := fs.String("table", "", "lake table to explain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir == "" || *targetPath == "" || *name == "" {
-		return fmt.Errorf("explain: -dir, -target and -table are required")
+	if *targetPath == "" || *name == "" {
+		return fmt.Errorf("explain: -target and -table are required")
 	}
-	engine, err := loadEngine(*dir)
+	engine, err := loadEngine(*dir, *index)
 	if err != nil {
 		return err
 	}

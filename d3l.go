@@ -31,10 +31,12 @@ package d3l
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"d3l/internal/core"
 	"d3l/internal/joins"
+	"d3l/internal/persist"
 	"d3l/internal/table"
 )
 
@@ -223,6 +225,80 @@ func (e *Engine) TopKWithJoins(target *Table, k int) ([]Augmented, error) {
 		return nil, err
 	}
 	return joins.Augment(e.core, e.joinGraph(), res, joins.DefaultPathOptions())
+}
+
+// Save writes a versioned, checksummed binary snapshot of the engine —
+// the four LSH indexes, attribute profiles, lake metadata, tombstone
+// set, and the SA-join graph (built first if no query has demanded it
+// yet) — so serving replicas cold-start with Load instead of
+// re-profiling the lake. Save holds the mutation lock in read mode:
+// snapshots taken under concurrent Add/Remove traffic are consistent
+// point-in-time images.
+func Save(e *Engine, w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	g := e.joinGraph()
+	enc := persist.NewEncoder()
+	if err := e.core.AppendSnapshot(enc); err != nil {
+		return err
+	}
+	gb := &persist.Buffer{}
+	g.Encode(gb)
+	enc.Section(persist.SecJoinGraph, gb)
+	_, err := enc.WriteTo(w)
+	return err
+}
+
+// Load reconstructs an engine from a snapshot written by Save. The
+// loaded engine answers TopK, BatchTopK, TopKWithJoins and Explain
+// identically to the engine the snapshot was taken from, and accepts
+// Add/Remove from there on. Its lake carries metadata only (names,
+// schemas, ids) — raw extents are not stored in snapshots, since
+// queries are answered entirely from the indexed profiles. Corrupt,
+// truncated or version-mismatched input fails with an error; it never
+// panics. If the snapshot predates the join graph section, the graph
+// is rebuilt lazily on first TopKWithJoins, as after New.
+func Load(r io.Reader) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := persist.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := core.DecodeEngine(dec)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{core: ce}
+	if gr, ok := dec.Section(persist.SecJoinGraph); ok {
+		g, err := joins.DecodeGraph(gr, ce)
+		if err != nil {
+			return nil, err
+		}
+		eng.graph = g
+	}
+	return eng, nil
+}
+
+// SetParallelism re-bounds the engine's worker pools (0 selects
+// GOMAXPROCS). Parallelism is a property of the serving host, not of
+// the indexed data, so it is the one option that stays mutable after
+// New and after Load — a snapshot built single-threaded can still
+// saturate a many-core replica. Rankings are identical at any setting.
+func (e *Engine) SetParallelism(n int) error {
+	return e.core.SetParallelism(n)
+}
+
+// Compact rebuilds the four LSH indexes without the slack that
+// incremental Add/Remove churn leaves in their backing arrays,
+// restoring the tight layout of a fresh build. Query results, table
+// ids and attribute ids are unaffected.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.core.Compact()
 }
 
 // Explain returns the Table I-style pairwise distance rows between the

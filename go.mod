@@ -1,3 +1,3 @@
 module d3l
 
-go 1.24
+go 1.23

@@ -96,23 +96,31 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 }
 
 // insertForests places one attribute's signatures into the four
-// forests under the Section III-C placement rules: numeric attributes
-// are not inserted into I_V or I_E, and attributes with no embeddable
-// content skip I_E. It serves both the build phase (forests not yet
-// indexed) and incremental Add (sorted insertion).
+// forests under the Section III-C placement rules. It serves both the
+// build phase (forests not yet indexed) and incremental Add (sorted
+// insertion).
 func (e *Engine) insertForests(attrID int, p *Profile) error {
-	if err := e.forestN.Insert(int32(attrID), p.QSig); err != nil {
+	return insertInto(e.forestN, e.forestV, e.forestF, e.forestE, attrID, p)
+}
+
+// insertInto places one attribute's signatures into an explicit forest
+// quadruple under the Section III-C placement rules: numeric attributes
+// are not inserted into I_V or I_E, and attributes with no embeddable
+// content skip I_E. Compact builds replacement forests through the same
+// rules the engine's own forests were built with.
+func insertInto(fN, fV, fF, fE *lsh.Forest, attrID int, p *Profile) error {
+	if err := fN.Insert(int32(attrID), p.QSig); err != nil {
 		return err
 	}
-	if err := e.forestF.Insert(int32(attrID), p.RSig); err != nil {
+	if err := fF.Insert(int32(attrID), p.RSig); err != nil {
 		return err
 	}
 	if !p.Numeric {
-		if err := e.forestV.Insert(int32(attrID), p.TSig); err != nil {
+		if err := fV.Insert(int32(attrID), p.TSig); err != nil {
 			return err
 		}
 		if !p.EZero {
-			if err := e.forestE.Insert(int32(attrID), p.ESig.HashValues()); err != nil {
+			if err := fE.Insert(int32(attrID), p.ESig.HashValues()); err != nil {
 				return err
 			}
 		}
@@ -142,8 +150,13 @@ func embedForestLayout(embedBits int) (trees, hashes int) {
 	return trees, vals / trees
 }
 
-// Options returns the engine configuration.
-func (e *Engine) Options() Options { return e.opts }
+// Options returns the engine configuration. (Parallelism is the one
+// field mutable after build — see SetParallelism — hence the lock.)
+func (e *Engine) Options() Options {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts
+}
 
 // Lake returns the indexed lake. Mutate it only through Engine.Add and
 // Engine.Remove once queries may be running concurrently.

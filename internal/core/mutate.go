@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"d3l/internal/lsh"
 	"d3l/internal/table"
 )
 
@@ -94,6 +95,49 @@ func (e *Engine) deleteForests(attrID int, p *Profile) error {
 			}
 		}
 	}
+	return nil
+}
+
+// Compact rebuilds the four forests from live attributes only,
+// releasing the slack that incremental Insert/Delete churn accumulates
+// in the backing arrays. Remove splices tombstoned keys out of the
+// trees, but splicing truncates in place: capacity is never returned,
+// and a long-lived serving engine under Add/Remove traffic drifts away
+// from the tight layout a fresh build produces. Compact restores
+// exactly that layout — the rebuilt trees are byte-identical to those
+// of an engine built over the surviving tables (attribute ids
+// included), so queries are unaffected. Attribute and table ids remain
+// stable; tombstoned slots stay tombstoned.
+//
+// Snapshot writing needs no Compact first: tombstoned profiles are
+// metadata-only stubs and deleted keys are already out of the trees,
+// so snapshots do not grow with mutation churn either way.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fN := lsh.MustForest(e.opts.ForestTrees, e.opts.ForestHashes)
+	fV := lsh.MustForest(e.opts.ForestTrees, e.opts.ForestHashes)
+	fF := lsh.MustForest(e.opts.ForestTrees, e.opts.ForestHashes)
+	eTrees, eHashes := embedForestLayout(e.opts.EmbedBits)
+	fE := lsh.MustForest(eTrees, eHashes)
+	// Live attributes re-enter in (table id, attribute id) order — the
+	// BuildEngine order — so Index produces the same sorted arrays a
+	// fresh build would.
+	for tid := range e.byTable {
+		if !e.alive[tid] {
+			continue
+		}
+		for _, attrID := range e.byTable[tid] {
+			if err := insertInto(fN, fV, fF, fE, attrID, &e.profiles[attrID]); err != nil {
+				return err
+			}
+		}
+	}
+	fN.Index()
+	fV.Index()
+	fF.Index()
+	fE.Index()
+	e.forestN, e.forestV, e.forestF, e.forestE = fN, fV, fF, fE
 	return nil
 }
 

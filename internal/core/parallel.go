@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,9 +45,31 @@ func forEachIndex(n, parallelism int, fn func(int)) {
 }
 
 // queryParallelism resolves Options.Parallelism for the query side.
+// It takes the read lock itself (callers use it before entering their
+// own locked region) so it is coherent with SetParallelism.
 func (e *Engine) queryParallelism() int {
-	if e.opts.Parallelism == 0 {
+	e.mu.RLock()
+	p := e.opts.Parallelism
+	e.mu.RUnlock()
+	if p == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
-	return e.opts.Parallelism
+	return p
+}
+
+// SetParallelism re-bounds the engine's worker pools. Parallelism is a
+// property of the serving host, not of the indexed data — a snapshot
+// built with -workers 1 on a laptop should still saturate a 64-core
+// replica — so unlike every other option it is mutable after build and
+// after LoadEngine. Rankings are identical at any setting, so in-flight
+// queries are unaffected beyond their worker count. 0 selects
+// GOMAXPROCS.
+func (e *Engine) SetParallelism(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: Parallelism must be non-negative, got %d", n)
+	}
+	e.mu.Lock()
+	e.opts.Parallelism = n
+	e.mu.Unlock()
+	return nil
 }

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"d3l/internal/lsh"
+	"d3l/internal/minhash"
+	"d3l/internal/mlearn"
+	"d3l/internal/persist"
+	"d3l/internal/subject"
+	"d3l/internal/table"
+)
+
+// This file implements engine snapshots: the build-once / serve-many
+// path. A snapshot captures everything the indexing phase produced —
+// options, lake metadata, attribute profiles (with the tombstone set),
+// and the four LSH forests — so a serving replica cold-starts by
+// deserialising instead of re-profiling the lake. Hash machinery
+// (MinHash families, random-projection planes, the embedding model) is
+// deterministic in Options.Seed and is rebuilt at load time rather
+// than stored; the subject classifier's coefficients are stored, so a
+// replica profiles targets with exactly the classifier the snapshot
+// was built with even if the shipped default changes.
+//
+// Snapshot holds the engine read lock for the duration of the encode,
+// so a snapshot taken while Add/Remove traffic is in flight is a
+// consistent point-in-time image.
+
+// Snapshot writes a versioned, checksummed binary snapshot of the
+// engine to w. Load the result with LoadEngine.
+func (e *Engine) Snapshot(w io.Writer) error {
+	enc := persist.NewEncoder()
+	if err := e.AppendSnapshot(enc); err != nil {
+		return err
+	}
+	_, err := enc.WriteTo(w)
+	return err
+}
+
+// AppendSnapshot encodes the engine's sections into enc, for callers
+// that compose the snapshot with additional sections (the public d3l
+// package appends the SA-join graph). The read lock is held across the
+// whole encode, so the sections are mutually consistent under
+// concurrent mutations.
+func (e *Engine) AppendSnapshot(enc *persist.Encoder) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	ob := &persist.Buffer{}
+	e.encodeOptions(ob)
+	enc.Section(persist.SecOptions, ob)
+
+	lb := &persist.Buffer{}
+	e.lake.EncodeMeta(lb)
+	enc.Section(persist.SecLake, lb)
+
+	ab := &persist.Buffer{}
+	e.encodeAttrs(ab)
+	enc.Section(persist.SecAttrs, ab)
+
+	fb := &persist.Buffer{}
+	e.forestN.Encode(fb)
+	e.forestV.Encode(fb)
+	e.forestF.Encode(fb)
+	e.forestE.Encode(fb)
+	enc.Section(persist.SecForests, fb)
+	return nil
+}
+
+// LoadEngine reads a snapshot written by Snapshot and reconstructs an
+// engine that answers every query identically to the one the snapshot
+// was taken from, and accepts Add/Remove mutations from there on.
+// Corrupt, truncated or version-mismatched input fails with an error
+// wrapping the persist sentinel errors; it never panics.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := persist.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeEngine(dec)
+}
+
+// DecodeEngine reconstructs an engine from an already-verified
+// snapshot decoder (LoadEngine is the plain-reader convenience).
+func DecodeEngine(dec *persist.Decoder) (*Engine, error) {
+	ro, err := dec.MustSection(persist.SecOptions)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := decodeOptions(ro)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot options: %w", err)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", persist.ErrCorrupt, err)
+	}
+	prof, err := newProfiler(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rl, err := dec.MustSection(persist.SecLake)
+	if err != nil {
+		return nil, err
+	}
+	lake, err := table.DecodeLakeMeta(rl)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot lake: %w", err)
+	}
+
+	ra, err := dec.MustSection(persist.SecAttrs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:       opts,
+		lake:       lake,
+		prof:       prof,
+		classifier: opts.subjectClassifier(),
+	}
+	if err := e.decodeAttrs(ra); err != nil {
+		return nil, fmt.Errorf("core: snapshot attributes: %w", err)
+	}
+	if len(e.byTable) != lake.Len() {
+		return nil, fmt.Errorf("%w: %d attribute table slots for %d lake tables",
+			persist.ErrCorrupt, len(e.byTable), lake.Len())
+	}
+
+	rf, err := dec.MustSection(persist.SecForests)
+	if err != nil {
+		return nil, err
+	}
+	forests := make([]*lsh.Forest, 4)
+	for i := range forests {
+		if forests[i], err = lsh.DecodeForest(rf); err != nil {
+			return nil, fmt.Errorf("core: snapshot forest %d: %w", i, err)
+		}
+		if err := forests[i].CheckIDs(int32(len(e.profiles))); err != nil {
+			return nil, fmt.Errorf("%w: forest %d: %v", persist.ErrCorrupt, i, err)
+		}
+	}
+	eTrees, eHashes := embedForestLayout(opts.EmbedBits)
+	layouts := [4][2]int{
+		{opts.ForestTrees, opts.ForestHashes},
+		{opts.ForestTrees, opts.ForestHashes},
+		{opts.ForestTrees, opts.ForestHashes},
+		{eTrees, eHashes},
+	}
+	for i, f := range forests {
+		if f.NumTrees() != layouts[i][0] || f.HashesPerTree() != layouts[i][1] {
+			return nil, fmt.Errorf("%w: forest %d layout %dx%d, options demand %dx%d",
+				persist.ErrCorrupt, i, f.NumTrees(), f.HashesPerTree(), layouts[i][0], layouts[i][1])
+		}
+	}
+	e.forestN, e.forestV, e.forestF, e.forestE = forests[0], forests[1], forests[2], forests[3]
+	return e, nil
+}
+
+// encodeOptions writes the full engine configuration plus the resolved
+// subject classifier coefficients. Field order is part of the format.
+func (e *Engine) encodeOptions(b *persist.Buffer) {
+	o := e.opts
+	b.I64(int64(o.MinHashSize))
+	b.F64(o.Threshold)
+	b.I64(int64(o.QGramQ))
+	b.I64(int64(o.ForestTrees))
+	b.I64(int64(o.ForestHashes))
+	b.I64(int64(o.EmbedBits))
+	b.U64(o.Seed)
+	b.F64s(o.Weights[:])
+	m := e.classifier.Model()
+	b.F64s(m.Weights)
+	b.F64(m.Bias)
+	b.I64(int64(o.MaxExtentSample))
+	b.I64(int64(o.CandidateBudget))
+	disabled := make([]uint64, 0, NumEvidence)
+	for t, d := range o.Disabled {
+		if d {
+			disabled = append(disabled, uint64(t))
+		}
+	}
+	b.U64s(disabled)
+	b.Bool(o.UniformEq1Weights)
+	b.I64(int64(o.Parallelism))
+}
+
+func decodeOptions(r *persist.Reader) (Options, error) {
+	var o Options
+	o.MinHashSize = int(r.I64())
+	o.Threshold = r.F64()
+	o.QGramQ = int(r.I64())
+	o.ForestTrees = int(r.I64())
+	o.ForestHashes = int(r.I64())
+	o.EmbedBits = int(r.I64())
+	o.Seed = r.U64()
+	w := r.F64s()
+	cw := r.F64s()
+	bias := r.F64()
+	o.MaxExtentSample = int(r.I64())
+	o.CandidateBudget = int(r.I64())
+	disabled := r.U64s()
+	o.UniformEq1Weights = r.Bool()
+	o.Parallelism = int(r.I64())
+	if err := r.Err(); err != nil {
+		return o, err
+	}
+	if len(w) != int(NumEvidence) {
+		return o, fmt.Errorf("%w: %d evidence weights", persist.ErrCorrupt, len(w))
+	}
+	copy(o.Weights[:], w)
+	cls, err := subject.FromModel(&mlearn.LogisticModel{Weights: cw, Bias: bias})
+	if err != nil {
+		return o, fmt.Errorf("%w: %v", persist.ErrCorrupt, err)
+	}
+	o.Subject = cls
+	for _, t := range disabled {
+		if t >= uint64(NumEvidence) {
+			return o, fmt.Errorf("%w: disabled evidence %d", persist.ErrCorrupt, t)
+		}
+		o.Disabled[t] = true
+	}
+	return o, nil
+}
+
+// encodeAttrs writes the profile store and the per-table indexes.
+// Tombstoned attributes are already metadata-only stubs (Remove
+// releases their payloads), so snapshots do not grow with mutation
+// churn beyond a name per dead attribute.
+func (e *Engine) encodeAttrs(b *persist.Buffer) {
+	b.U32(uint32(len(e.profiles)))
+	for i := range e.profiles {
+		encodeProfile(b, &e.profiles[i])
+	}
+	b.U32(uint32(len(e.byTable)))
+	for tid := range e.byTable {
+		b.Ints(e.byTable[tid])
+		b.I64(int64(e.subjects[tid]))
+		b.Bool(e.alive[tid])
+	}
+}
+
+// Minimum encoded sizes, used to bound up-front allocations against a
+// crafted snapshot that declares huge counts: a valid CRC proves
+// nothing about intent, and the declared count must be achievable
+// within the bytes that actually follow.
+const (
+	// minProfileEnc: 3×I64 + 5 slice counts + 3 bools + 1 string count.
+	minProfileEnc = 3*8 + 5*4 + 3 + 4
+	// minTableEnc: attr-list count + subject I64 + alive bool.
+	minTableEnc = 4 + 8 + 1
+)
+
+func (e *Engine) decodeAttrs(r *persist.Reader) error {
+	numProfiles := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if numProfiles < 0 || numProfiles > r.Remaining()/minProfileEnc {
+		return fmt.Errorf("%w: %d profiles declared in %d bytes", persist.ErrCorrupt, numProfiles, r.Remaining())
+	}
+	e.profiles = make([]Profile, numProfiles)
+	for i := range e.profiles {
+		if err := decodeProfile(r, &e.profiles[i]); err != nil {
+			return err
+		}
+	}
+	numTables := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if numTables < 0 || numTables > r.Remaining()/minTableEnc {
+		return fmt.Errorf("%w: %d tables declared in %d bytes", persist.ErrCorrupt, numTables, r.Remaining())
+	}
+	e.byTable = make([][]int, numTables)
+	e.subjects = make([]int, numTables)
+	e.alive = make([]bool, numTables)
+	for tid := 0; tid < numTables; tid++ {
+		e.byTable[tid] = r.Ints()
+		e.subjects[tid] = int(r.I64())
+		e.alive[tid] = r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		for _, attrID := range e.byTable[tid] {
+			if attrID < 0 || attrID >= numProfiles {
+				return fmt.Errorf("%w: table %d lists attribute %d of %d", persist.ErrCorrupt, tid, attrID, numProfiles)
+			}
+		}
+		if s := e.subjects[tid]; s < -1 || s >= numProfiles {
+			return fmt.Errorf("%w: table %d subject attribute %d of %d", persist.ErrCorrupt, tid, s, numProfiles)
+		}
+	}
+	// Profile table ids index e.subjects and e.byTable at query time,
+	// so they are validated against the table count even though the
+	// checksum makes a mismatch unreachable from honest writers.
+	for i := range e.profiles {
+		ref := e.profiles[i].Ref
+		if ref.TableID < 0 || ref.TableID >= numTables || ref.Column < 0 {
+			return fmt.Errorf("%w: profile %d references table %d column %d (%d tables)",
+				persist.ErrCorrupt, i, ref.TableID, ref.Column, numTables)
+		}
+	}
+	return r.Err()
+}
+
+func encodeProfile(b *persist.Buffer, p *Profile) {
+	b.I64(int64(p.Ref.TableID))
+	b.I64(int64(p.Ref.Column))
+	b.Str(p.Name)
+	b.Bool(p.Numeric)
+	b.Bool(p.Subject)
+	b.U64s(p.QSig)
+	b.U64s(p.TSig)
+	b.I64(int64(p.TSize))
+	b.U64s(p.RSig)
+	b.U64s(p.ESig)
+	b.Bool(p.EZero)
+	b.F64s(p.NumExtent)
+}
+
+func decodeProfile(r *persist.Reader, p *Profile) error {
+	p.Ref.TableID = int(r.I64())
+	p.Ref.Column = int(r.I64())
+	p.Name = r.Str()
+	p.Numeric = r.Bool()
+	p.Subject = r.Bool()
+	p.QSig = minhash.Signature(r.U64s())
+	p.TSig = minhash.Signature(r.U64s())
+	p.TSize = int(r.I64())
+	p.RSig = minhash.Signature(r.U64s())
+	p.ESig = lsh.BitSignature(r.U64s())
+	p.EZero = r.Bool()
+	p.NumExtent = r.F64s()
+	return r.Err()
+}

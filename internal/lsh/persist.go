@@ -1,0 +1,86 @@
+package lsh
+
+import (
+	"fmt"
+
+	"d3l/internal/persist"
+)
+
+// maxForestLayout bounds the decoded tree layout: no real configuration
+// comes close (the engine runs 8×32 and 4×8), and the cap keeps a
+// corrupt or adversarial snapshot from requesting absurd allocations.
+const maxForestLayout = 1 << 16
+
+// Encode serialises the forest — layout, lifecycle state, and the raw
+// sorted key/id arrays of every tree — into a snapshot buffer. The
+// arrays are written verbatim, so DecodeForest restores a forest that
+// answers every Query, Insert and Delete exactly like the original
+// without re-sorting.
+func (f *Forest) Encode(b *persist.Buffer) {
+	b.U32(uint32(f.numTrees))
+	b.U32(uint32(f.hashesPerTree))
+	b.U64(uint64(f.count))
+	b.Bool(f.indexed)
+	for t := range f.trees {
+		b.Bytes(f.trees[t].keys)
+		b.I32s(f.trees[t].ids)
+	}
+}
+
+// NumTrees reports the forest's tree count.
+func (f *Forest) NumTrees() int { return f.numTrees }
+
+// HashesPerTree reports how many hash values each tree consumes.
+func (f *Forest) HashesPerTree() int { return f.hashesPerTree }
+
+// CheckIDs verifies that every indexed item id lies in [0, limit) —
+// decoded forests are checked against the profile count so a corrupt
+// snapshot can never make a query index out of bounds.
+func (f *Forest) CheckIDs(limit int32) error {
+	for t := range f.trees {
+		for _, id := range f.trees[t].ids {
+			if id < 0 || id >= limit {
+				return fmt.Errorf("forest item id %d outside [0,%d)", id, limit)
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeForest reconstructs a forest written by Encode, validating the
+// layout and the per-tree array lengths against the recorded item
+// count so a decoded forest can never index out of bounds.
+func DecodeForest(r *persist.Reader) (*Forest, error) {
+	numTrees := int(r.U32())
+	hashesPerTree := int(r.U32())
+	count := int(r.U64())
+	indexed := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if numTrees <= 0 || numTrees > maxForestLayout || hashesPerTree <= 0 || hashesPerTree > maxForestLayout {
+		return nil, fmt.Errorf("%w: forest layout %dx%d", persist.ErrCorrupt, numTrees, hashesPerTree)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("%w: forest count %d", persist.ErrCorrupt, count)
+	}
+	f, err := NewForest(numTrees, hashesPerTree)
+	if err != nil {
+		return nil, err
+	}
+	f.count = count
+	f.indexed = indexed
+	for t := 0; t < numTrees; t++ {
+		keys := r.Bytes()
+		ids := r.I32s()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if len(ids) != count || len(keys) != count*hashesPerTree {
+			return nil, fmt.Errorf("%w: forest tree %d has %d keys / %d ids for count %d",
+				persist.ErrCorrupt, t, len(keys), len(ids), count)
+		}
+		f.trees[t] = forestTree{keys: keys, ids: ids}
+	}
+	return f, nil
+}

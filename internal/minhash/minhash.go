@@ -245,6 +245,23 @@ func FromBytes(buf []byte) (Signature, error) {
 	return s, nil
 }
 
+// MarshalBinary implements encoding.BinaryMarshaler with the Bytes
+// layout. The engine snapshot encodes signatures inline as raw uint64
+// slices for speed; these methods exist for external tooling that
+// wants the standard encoding interfaces (gob, caches, wire formats).
+func (s Signature) MarshalBinary() ([]byte, error) { return s.Bytes(), nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, the decode
+// half of MarshalBinary.
+func (s *Signature) UnmarshalBinary(buf []byte) error {
+	sig, err := FromBytes(buf)
+	if err != nil {
+		return err
+	}
+	*s = sig
+	return nil
+}
+
 // splitMix64 returns a deterministic 64-bit pseudo-random generator used
 // to derive the hash family. SplitMix64 is the standard seeding PRNG for
 // reproducible simulation (Steele et al.).

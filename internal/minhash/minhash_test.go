@@ -343,3 +343,27 @@ func BenchmarkSimilarity256(b *testing.B) {
 		}
 	}
 }
+
+func TestSignatureBinaryMarshalling(t *testing.T) {
+	h := MustHasher(64, 99)
+	sig := h.Sketch([]string{"blackfriars", "salford", "m3 6af"})
+	buf, err := sig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Signature
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sig) {
+		t.Fatalf("length %d != %d", len(got), len(sig))
+	}
+	for i := range sig {
+		if got[i] != sig[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], sig[i])
+		}
+	}
+	if err := got.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for a 3-byte payload")
+	}
+}

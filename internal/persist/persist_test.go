@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// roundTripSnapshot builds a two-section snapshot exercising every
+// primitive type.
+func roundTripSnapshot(t *testing.T) []byte {
+	t.Helper()
+	enc := NewEncoder()
+	b := &Buffer{}
+	b.U8(7)
+	b.Bool(true)
+	b.Bool(false)
+	b.U32(0xdeadbeef)
+	b.U64(1 << 62)
+	b.I64(-42)
+	b.F64(math.Pi)
+	b.Str("practice name")
+	b.Bytes([]byte{1, 2, 3})
+	b.U64s([]uint64{9, 8, 7})
+	b.I32s([]int32{-1, 0, 1})
+	b.Ints([]int{-5, 5})
+	b.F64s([]float64{0.5, -0.25})
+	enc.Section(SecOptions, b)
+	empty := &Buffer{}
+	enc.Section(SecLake, empty)
+	var out bytes.Buffer
+	if _, err := enc.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := roundTripSnapshot(t)
+	dec, err := NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Version() != Version {
+		t.Fatalf("version %d, want %d", dec.Version(), Version)
+	}
+	r, err := dec.MustSection(SecOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 1<<62 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.Str(); v != "practice name" {
+		t.Fatalf("Str = %q", v)
+	}
+	if v := r.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", v)
+	}
+	if v := r.U64s(); len(v) != 3 || v[0] != 9 || v[2] != 7 {
+		t.Fatalf("U64s = %v", v)
+	}
+	if v := r.I32s(); len(v) != 3 || v[0] != -1 || v[2] != 1 {
+		t.Fatalf("I32s = %v", v)
+	}
+	if v := r.Ints(); len(v) != 2 || v[0] != -5 || v[1] != 5 {
+		t.Fatalf("Ints = %v", v)
+	}
+	if v := r.F64s(); len(v) != 2 || v[1] != -0.25 {
+		t.Fatalf("F64s = %v", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+	if _, ok := dec.Section(SecLake); !ok {
+		t.Fatal("empty section missing")
+	}
+	if _, ok := dec.Section(SecForests); ok {
+		t.Fatal("absent section reported present")
+	}
+}
+
+func TestDecoderRejectsBadMagic(t *testing.T) {
+	data := roundTripSnapshot(t)
+	data[0] ^= 0xff
+	if _, err := NewDecoder(data); !errors.Is(err, ErrMagic) {
+		t.Fatalf("err = %v, want ErrMagic", err)
+	}
+}
+
+func TestDecoderRejectsBitFlips(t *testing.T) {
+	orig := roundTripSnapshot(t)
+	for i := len(Magic); i < len(orig); i++ {
+		data := append([]byte(nil), orig...)
+		data[i] ^= 1
+		_, err := NewDecoder(data)
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+		// Any flip outside the version field must be caught by the
+		// checksum; a version-field flip may legitimately surface as
+		// ErrVersion (its payload is covered by the CRC either way).
+		if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestDecoderRejectsTruncation(t *testing.T) {
+	data := roundTripSnapshot(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := NewDecoder(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecoderRejectsUnknownVersion(t *testing.T) {
+	enc := NewEncoder()
+	enc.Section(SecOptions, &Buffer{})
+	var out bytes.Buffer
+	if _, err := enc.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	data := out.Bytes()
+	data[8] = 99 // version field; recompute trailer so only version differs
+	body := data[:len(data)-4]
+	crc := crc32Checksum(body)
+	data[len(data)-4] = byte(crc)
+	data[len(data)-3] = byte(crc >> 8)
+	data[len(data)-2] = byte(crc >> 16)
+	data[len(data)-1] = byte(crc >> 24)
+	if _, err := NewDecoder(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestReaderErrorsAreSticky(t *testing.T) {
+	r := &Reader{data: []byte{1, 2}}
+	_ = r.U64() // overruns
+	if r.Err() == nil {
+		t.Fatal("overrun not reported")
+	}
+	if v := r.U32(); v != 0 {
+		t.Fatalf("poisoned reader returned %d", v)
+	}
+	if v := r.Str(); v != "" {
+		t.Fatalf("poisoned reader returned %q", v)
+	}
+}
+
+func TestReaderRejectsOversizedCounts(t *testing.T) {
+	// A count prefix claiming more elements than bytes remain must fail
+	// without attempting the allocation.
+	b := &Buffer{}
+	b.U32(1 << 30)
+	r := &Reader{data: b.data}
+	if v := r.U64s(); v != nil || r.Err() == nil {
+		t.Fatalf("oversized count accepted: %v, err %v", v, r.Err())
+	}
+}
+
+func TestWriteToIsRepeatable(t *testing.T) {
+	enc := NewEncoder()
+	b := &Buffer{}
+	b.Str("x")
+	enc.Section(SecOptions, b)
+	var first, second bytes.Buffer
+	if _, err := enc.WriteTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.WriteTo(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("WriteTo not repeatable")
+	}
+	if _, err := NewDecoder(second.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crc32Checksum mirrors the trailer computation for the version test.
+func crc32Checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}

@@ -80,6 +80,10 @@ func Default() *Classifier {
 	}}
 }
 
+// Model exposes the underlying logistic model so engine snapshots can
+// persist the classifier's coefficients; reconstruct with FromModel.
+func (c *Classifier) Model() *mlearn.LogisticModel { return c.model }
+
 // FromModel wraps a trained logistic model.
 func FromModel(m *mlearn.LogisticModel) (*Classifier, error) {
 	if m == nil || len(m.Weights) != FeatureCount {

@@ -12,6 +12,7 @@
 //	d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
 //	d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
 //	d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
+//	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080]
 //	d3l stats       -dir DIR
 //	d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
 //
@@ -19,11 +20,14 @@
 // indexes a CSV directory and snapshots the engine to disk; `d3l query
 // -index` (and batch/explain) then cold-start from the snapshot in
 // milliseconds instead of re-profiling the lake, returning the same
-// results as the direct -dir path.
+// results as the direct -dir path; `d3l serve -index` turns the same
+// snapshot into a long-running HTTP JSON service with result caching,
+// admission control, hot reload (SIGHUP) and graceful shutdown.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +56,8 @@ func main() {
 		err = cmdBatch(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "exp":
@@ -77,6 +83,7 @@ func usage() {
   d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
   d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
+  d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D]
   d3l stats       -dir DIR
   d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
 }
@@ -398,6 +405,11 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	rows, err := engine.Explain(target, *name)
+	if errors.Is(err, d3l.ErrTableNotFound) {
+		// The typed miss gets an actionable message instead of a
+		// generic failure: the query ran fine, the name is just wrong.
+		return fmt.Errorf("explain: no table %q in the lake (d3l index info or d3l stats lists tables)", *name)
+	}
 	if err != nil {
 		return err
 	}

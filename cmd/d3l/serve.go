@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d3l/internal/server"
+)
+
+// cmdServe runs the HTTP serving subsystem over a prebuilt snapshot
+// (the serve-many half of the build-once/serve-many flow) or, for
+// development, over a CSV directory indexed at startup.
+//
+// Signals: SIGHUP hot-reloads the snapshot and atomically swaps the
+// serving engine under traffic (only with -index); SIGINT/SIGTERM
+// drain in-flight queries — new work answers 503 while running
+// queries finish — then exit.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	index := fs.String("index", "", "prebuilt snapshot to serve (enables SIGHUP/POST /v1/reload)")
+	dir := fs.String("dir", "", "lake directory of CSV files (index at startup; alternative to -index)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "engine parallelism (0 keeps GOMAXPROCS for -dir or the snapshot's setting)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "admission gate: concurrent queries+mutations (0 = 2x GOMAXPROCS)")
+	admissionWait := fs.Duration("admission-wait", 0, "max wait for a concurrency slot before 429 (0 = 100ms)")
+	timeout := fs.Duration("timeout", 0, "per-request execution deadline before 503 (0 = 30s)")
+	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = 1024, negative disables)")
+	maxBody := fs.Int64("max-body", 0, "request body size limit in bytes before 413 (0 = 32MiB)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := loadEngine(*dir, *index)
+	if err != nil {
+		return err
+	}
+	if *workers != 0 {
+		if err := engine.SetParallelism(*workers); err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(engine, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		AdmissionWait:  *admissionWait,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		CacheEntries:   *cacheEntries,
+		SnapshotPath:   *index,
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	// Transport-level timeouts guard what the admission gate cannot
+	// see: a client trickling headers or body bytes holds a
+	// connection, not a gate slot, so slow-client exhaustion is
+	// bounded here. WriteTimeout stays unset — it would start at
+	// header-read and kill legitimately long queries; the server's
+	// own RequestTimeout bounds handler time instead.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "d3l serve: reload:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "d3l serve: reloaded %s (engine %016x)\n",
+				*index, srv.Engine().Fingerprint())
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	fmt.Fprintf(os.Stderr, "d3l serve: listening on %s (%d tables, %d attributes, engine %016x)\n",
+		*addr, engine.NumTables(), engine.NumAttributes(), engine.Fingerprint())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "d3l serve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Drain order: flip health checks to 503 and reject new work
+		// first, then stop accepting connections and finish in-flight
+		// HTTP exchanges, then wait for detached query goroutines.
+		srv.BeginShutdown()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		return srv.Shutdown(ctx)
+	}
+}

@@ -71,6 +71,16 @@ type (
 	Evidence = core.Evidence
 )
 
+// ErrTableNotFound reports a lookup of a lake table name that is not
+// indexed (never added, or already removed). Explain and Remove wrap
+// it, so callers — the HTTP serving layer answering 404, the CLI —
+// distinguish a bad name from a real failure with errors.Is.
+var ErrTableNotFound = core.ErrTableNotFound
+
+// ErrDuplicateTable reports an Add of a table whose name is already
+// in the lake; the HTTP serving layer maps it to 409.
+var ErrDuplicateTable = table.ErrDuplicateName
+
 // Evidence type constants.
 const (
 	EvidenceName      = core.EvidenceName
@@ -291,6 +301,21 @@ func (e *Engine) SetParallelism(n int) error {
 	return e.core.SetParallelism(n)
 }
 
+// Fingerprint returns a cheap 64-bit fingerprint of this engine's
+// state: stable across queries, changed by every Add, Remove and
+// Compact. Within the lifetime of one engine value, a cache keyed by
+// it can never serve a pre-mutation answer after the mutation lands.
+//
+// The fingerprint hashes engine identity (options, table names,
+// liveness, attribute count), not cell contents: two engines built
+// from different data that happen to share identity can collide, so
+// it is NOT sufficient on its own to key a cache shared across
+// engine instances — compose it with an instance discriminator, as
+// internal/server does with its swap generation.
+func (e *Engine) Fingerprint() uint64 {
+	return e.core.Fingerprint()
+}
+
 // Compact rebuilds the four LSH indexes without the slack that
 // incremental Add/Remove churn leaves in their backing arrays,
 // restoring the tight layout of a fresh build. Query results, table
@@ -312,8 +337,18 @@ func FormatExplanation(rows []PairExplanation) string {
 	return core.FormatExplanation(rows)
 }
 
-// Lake returns the indexed lake.
+// Lake returns the indexed lake. The returned value is not internally
+// locked: once queries or mutations may be in flight, prefer NumTables
+// and HasTable, which read under the engine's lock.
 func (e *Engine) Lake() *Lake { return e.core.Lake() }
+
+// NumTables reports the lake's table-slot count (tombstoned slots of
+// removed tables included), safely under concurrent mutations.
+func (e *Engine) NumTables() int { return e.core.LakeLen() }
+
+// HasTable reports whether a live table with the given name is
+// indexed, safely under concurrent mutations.
+func (e *Engine) HasTable(name string) bool { return e.core.HasTable(name) }
 
 // NumAttributes reports how many attributes are indexed.
 func (e *Engine) NumAttributes() int { return e.core.NumAttributes() }

@@ -7,7 +7,16 @@
 // query.
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTableNotFound reports a lookup of a lake table name that is not
+// indexed (never added, or already removed). Callers branch on it with
+// errors.Is — the HTTP serving layer maps it to 404 — so every name
+// miss in the engine wraps this sentinel rather than a generic error.
+var ErrTableNotFound = errors.New("core: table not found")
 
 // Evidence enumerates the five relatedness evidence types.
 type Evidence int

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"d3l/internal/lsh"
 	"d3l/internal/subject"
@@ -32,6 +33,12 @@ type Engine struct {
 	byTable  [][]int   // table id -> attribute ids
 	subjects []int     // table id -> subject attribute id (-1 if none)
 	alive    []bool    // table id -> still indexed (false after Remove)
+
+	// fpBase and version back Fingerprint: fpBase is hashed once at
+	// build/load time (immutable afterwards), version counts mutations
+	// atomically so Fingerprint never takes mu (see fingerprint.go).
+	fpBase  uint64
+	version atomic.Uint64
 
 	forestN *lsh.Forest
 	forestV *lsh.Forest
@@ -92,6 +99,7 @@ func BuildEngine(lake *table.Lake, opts Options) (*Engine, error) {
 	e.forestV.Index()
 	e.forestF.Index()
 	e.forestE.Index()
+	e.fpBase = e.fingerprintBase()
 	return e, nil
 }
 

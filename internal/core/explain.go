@@ -27,7 +27,7 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 	_, ok := e.lake.IDByName(lakeTable)
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: no table %q in the lake", lakeTable)
+		return nil, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, lakeTable)
 	}
 	tprofiles := e.ProfileTarget(target)
 	var tsubject *Profile
@@ -42,7 +42,7 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 	// between the cheap check and here.
 	tid, ok := e.lake.IDByName(lakeTable)
 	if !ok {
-		return nil, fmt.Errorf("core: no table %q in the lake", lakeTable)
+		return nil, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, lakeTable)
 	}
 	var candSubject *Profile
 	if s := e.subjects[tid]; s >= 0 {

@@ -28,6 +28,25 @@ func (e *Engine) VCandidates(attrID int, budget int) []int {
 // Threshold exposes the configured LSH threshold τ.
 func (e *Engine) Threshold() float64 { return e.opts.Threshold }
 
+// LakeLen reports the lake's table-slot count (tombstoned slots
+// included) under the query lock — the mutation-safe alternative to
+// Lake().Len() for callers that run concurrently with Add/Remove,
+// such as the HTTP serving layer.
+func (e *Engine) LakeLen() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lake.Len()
+}
+
+// HasTable reports whether a live table with the given name is
+// indexed, under the query lock (safe concurrently with mutations).
+func (e *Engine) HasTable(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.lake.IDByName(name)
+	return ok
+}
+
 // TableRelatedToTarget reports whether any attribute of the lake table
 // is related to any target attribute by any index (the Algorithm 3 path
 // guard "Ni ∈ I*.lookup(T)").

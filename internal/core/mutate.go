@@ -71,6 +71,7 @@ func (e *Engine) AddProfiled(t *table.Table, profiles []Profile) (int, error) {
 			return 0, err
 		}
 	}
+	e.bumpVersion()
 	return tid, nil
 }
 
@@ -138,6 +139,7 @@ func (e *Engine) Compact() error {
 	fF.Index()
 	fE.Index()
 	e.forestN, e.forestV, e.forestF, e.forestE = fN, fV, fF, fE
+	e.bumpVersion()
 	return nil
 }
 
@@ -154,7 +156,7 @@ func (e *Engine) Remove(name string) error {
 	defer e.mu.Unlock()
 	tid, ok := e.lake.IDByName(name)
 	if !ok {
-		return fmt.Errorf("core: no table %q in the lake", name)
+		return fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, name)
 	}
 	for _, attrID := range e.byTable[tid] {
 		p := &e.profiles[attrID]
@@ -176,5 +178,6 @@ func (e *Engine) Remove(name string) error {
 	}
 	e.alive[tid] = false
 	e.lake.Remove(name)
+	e.bumpVersion()
 	return nil
 }

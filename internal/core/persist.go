@@ -158,6 +158,7 @@ func DecodeEngine(dec *persist.Decoder) (*Engine, error) {
 		}
 	}
 	e.forestN, e.forestV, e.forestF, e.forestE = forests[0], forests[1], forests[2], forests[3]
+	e.fpBase = e.fingerprintBase()
 	return e, nil
 }
 

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over marshaled response bodies.
+// Keys are canonical query fingerprints (see querykey.go) that embed
+// the engine fingerprint, so entries computed before a mutation or an
+// engine swap can never be returned afterwards — their keys are
+// unreachable. The server additionally purges on mutation and swap so
+// dead entries release memory immediately instead of aging out.
+//
+// Values are fully marshaled JSON bodies: a hit is a single write
+// with zero re-encoding, and replayed responses are byte-identical to
+// the first answer (the property the golden tests pin).
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	byK map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache holding at most capacity entries; a
+// non-positive capacity disables caching (every get misses, puts are
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		byK: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and whether it was present,
+// promoting the entry to most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when the cache is full. Callers must not mutate body afterwards.
+func (c *resultCache) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry. Called after mutations and engine swaps:
+// key versioning already makes stale entries unreachable, purging
+// just returns their memory now.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byK)
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// a was just touched, so inserting c evicts b (the LRU entry).
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if v, ok := c.get("a"); !ok || string(v) != "A" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || string(v) != "C" {
+		t.Fatalf("c = %q, %v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCachePutReplaces(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("old"))
+	c.put("k", []byte("new"))
+	if v, _ := c.get("k"); string(v) != "new" {
+		t.Fatalf("got %q, want new", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestResultCachePurge(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Fatalf("len = %d after purge", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatal("entry survived purge")
+	}
+	// The cache stays usable after purge.
+	c.put("k9", []byte("v"))
+	if _, ok := c.get("k9"); !ok {
+		t.Fatal("cache dead after purge")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("k", []byte("v"))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}
+
+// TestQueryKeyCanonical pins the fingerprint contract: equal queries
+// collide, and every result-relevant dimension separates keys.
+func TestQueryKeyCanonical(t *testing.T) {
+	base := func() TopKRequest {
+		return TopKRequest{Table: figure1TargetJSON(), K: 5}
+	}
+	r1, r2 := base(), base()
+	if topKKey("topk", 1, 0, &r1) != topKKey("topk", 1, 0, &r2) {
+		t.Fatal("equal queries produced different keys")
+	}
+	distinct := map[string]string{}
+	add := func(label, key string) {
+		t.Helper()
+		if prev, dup := distinct[key]; dup {
+			t.Fatalf("%s collides with %s", label, prev)
+		}
+		distinct[key] = label
+	}
+	add("base", topKKey("topk", 1, 0, &r1))
+	add("kind", topKKey("joins", 1, 0, &r1))
+	add("engine", topKKey("topk", 2, 0, &r1))
+	add("swap generation", topKKey("topk", 1, 1, &r1))
+	k := base()
+	k.K = 6
+	add("k", topKKey("topk", 1, 0, &k))
+	cell := base()
+	cell.Table.Rows[0][0] += "x"
+	add("cell", topKKey("topk", 1, 0, &cell))
+	col := base()
+	col.Table.Columns[0] += "x"
+	add("column", topKKey("topk", 1, 0, &col))
+	name := base()
+	name.Table.Name += "x"
+	add("table name", topKKey("topk", 1, 0, &name))
+
+	// Length-prefixing: moving a byte across a field boundary must not
+	// collide ("ab","c" vs "a","bc").
+	ab := TopKRequest{Table: TableJSON{Name: "n", Columns: []string{"ab", "c"}}, K: 1}
+	a := TopKRequest{Table: TableJSON{Name: "n", Columns: []string{"a", "bc"}}, K: 1}
+	if topKKey("topk", 1, 0, &ab) == topKKey("topk", 1, 0, &a) {
+		t.Fatal("field boundary shift collides")
+	}
+}

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"d3l"
+)
+
+// writeJSONBytes writes an already-marshaled JSON body.
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeJSON marshals v and writes it.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Response types are plain structs; this is unreachable short
+		// of a programming error, but must not panic a serving process.
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSONBytes(w, status, body)
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}
+
+// decodeBody parses the JSON request body into v, answering the error
+// itself (400 for malformed JSON, 413 for oversized bodies) and
+// reporting whether the handler should proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeEngineError maps an admission or engine error onto the status
+// and envelope code contract pinned by the error-path tests.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			"server at concurrency limit; retry with backoff")
+	case errors.Is(err, errUnavailable):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"server is draining for shutdown")
+	case errors.Is(err, errTimeout):
+		writeError(w, http.StatusServiceUnavailable, CodeTimeout,
+			"request exceeded the execution deadline")
+	case errors.Is(err, d3l.ErrTableNotFound):
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, d3l.ErrDuplicateTable):
+		writeError(w, http.StatusConflict, CodeConflict, err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client went away while we waited; the status is written
+		// for completeness (the connection is usually gone).
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "client cancelled the request")
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+// cachedQuery is the shared shape of every cacheable read endpoint:
+// look the key up, otherwise compute the body under the admission gate
+// and store it. The marshaled body is cached, so a hit replays a
+// byte-identical response without re-ranking or re-encoding.
+//
+// Concurrent identical misses are coalesced: the first request (the
+// leader) computes under the gate, the rest wait on its flight and
+// share the result — a thundering herd right after a cache purge
+// burns one gate slot, not one per client. The flight is settled by
+// the compute goroutine itself, so it outlives a leader whose client
+// disconnected or timed out: late arrivals keep coalescing onto the
+// still-running computation (each bounded by its own RequestTimeout)
+// instead of stacking duplicate computations in the gate, and the
+// finished body still lands in the cache. Only when the work never
+// started (overload, draining, pre-start cancel) does the leader
+// settle the flight with its error, so waiters share that rejection
+// instead of hanging.
+func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+	for {
+		if body, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			s.stats.coalesced.Add(1)
+			deadline := time.NewTimer(s.cfg.RequestTimeout)
+			select {
+			case <-f.done:
+				deadline.Stop()
+			case <-deadline.C:
+				s.stats.timeouts.Add(1)
+				writeEngineError(w, errTimeout)
+				return
+			case <-r.Context().Done():
+				deadline.Stop()
+				writeEngineError(w, r.Context().Err())
+				return
+			}
+			if f.err != nil {
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue
+				}
+				writeEngineError(w, f.err)
+				return
+			}
+			writeJSONBytes(w, http.StatusOK, f.body)
+			return
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		s.stats.cacheMisses.Add(1)
+		body, started, err := s.admit(r.Context(), func() (b []byte, e error) {
+			// Cache insert and flight settlement run in a defer so a
+			// panicking compute still settles its waiters (with the
+			// panic converted to an internal error) instead of
+			// leaving them blocked until their deadlines.
+			defer func() {
+				if p := recover(); p != nil {
+					b, e = nil, fmt.Errorf("server: panic computing response: %v", p)
+				}
+				if e == nil {
+					s.cache.put(key, b)
+				}
+				f.resolve(s, key, b, e)
+			}()
+			return compute()
+		})
+		if !started {
+			// The work will never run; settle the flight so waiters
+			// fail fast with the same rejection.
+			f.resolve(s, key, nil, err)
+		}
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+		return
+	}
+	target, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	gen, eng := s.cacheEpoch()
+	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, &req), func() ([]byte, error) {
+		results, err := eng.TopK(target, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(TopKResponse{Results: toResultsJSON(results)})
+	})
+}
+
+func (s *Server) handleJoins(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+		return
+	}
+	target, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	gen, eng := s.cacheEpoch()
+	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, &req), func() ([]byte, error) {
+		augs, err := eng.TopKWithJoins(target, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(JoinsResponse{Results: toAugmentedJSON(augs)})
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+		return
+	}
+	if len(req.Tables) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "tables must be non-empty")
+		return
+	}
+	targets := make([]*d3l.Table, len(req.Tables))
+	for i := range req.Tables {
+		t, err := req.Tables[i].toTable()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("tables[%d]: %v", i, err))
+			return
+		}
+		targets[i] = t
+	}
+	gen, eng := s.cacheEpoch()
+	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, &req), func() ([]byte, error) {
+		answers, err := eng.BatchTopK(targets, req.K)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]ResultJSON, len(answers))
+		for i, results := range answers {
+			out[i] = toResultsJSON(results)
+		}
+		return json.Marshal(BatchResponse{Results: out})
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.LakeTable == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "lakeTable is required")
+		return
+	}
+	target, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	gen, eng := s.cacheEpoch()
+	s.cachedQuery(w, r, explainKey(eng.Fingerprint(), gen, &req), func() ([]byte, error) {
+		rows, err := eng.Explain(target, req.LakeTable)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(ExplainResponse{Rows: toExplanationsJSON(rows)})
+	})
+}
+
+func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
+	var req AddTableRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	t, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	// admitMutation, not admit: a mutation must never be abandoned
+	// mid-commit — a 503 that actually committed would invite a retry
+	// into a spurious 409, so the handler waits for the true outcome.
+	body, err := s.admitMutation(r.Context(), func() ([]byte, error) {
+		// The swap read lock pins the serving engine for the whole
+		// mutation: a 200 means the table is live in the engine that
+		// is (still) serving, never in one a concurrent reload just
+		// retired.
+		s.swapMu.RLock()
+		defer s.swapMu.RUnlock()
+		eng := s.Engine()
+		id, err := eng.Add(t)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.mutations.Add(1)
+		s.cache.purge()
+		return json.Marshal(AddTableResponse{ID: id, Name: t.Name})
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "table name is required")
+		return
+	}
+	body, err := s.admitMutation(r.Context(), func() ([]byte, error) {
+		s.swapMu.RLock()
+		defer s.swapMu.RUnlock()
+		if err := s.Engine().Remove(name); err != nil {
+			return nil, err
+		}
+		s.stats.mutations.Add(1)
+		s.cache.purge()
+		return json.Marshal(RemoveTableResponse{Removed: name})
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// handleHealthz is wait-free: Fingerprint is lock-free, and nothing
+// here touches the engine lock, so a probe answers instantly even
+// while a large add or Compact holds the write lock — a blocked
+// health check would get a healthy replica rotated out.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:            "ok",
+		EngineFingerprint: fmt.Sprintf("%016x", s.Engine().Fingerprint()),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		// Draining answers 503 so load balancers rotate this replica
+		// out while in-flight queries finish.
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	eng := s.Engine()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		EngineFingerprint: fmt.Sprintf("%016x", eng.Fingerprint()),
+		Tables:            eng.NumTables(),
+		Attributes:        eng.NumAttributes(),
+		Requests:          s.stats.requests.Load(),
+		InFlight:          s.stats.inFlight.Load(),
+		CacheHits:         s.stats.cacheHits.Load(),
+		CacheMisses:       s.stats.cacheMisses.Load(),
+		Coalesced:         s.stats.coalesced.Load(),
+		CacheEntries:      s.cache.len(),
+		Rejected:          s.stats.rejected.Load(),
+		Unavailable:       s.stats.unavailable.Load(),
+		Timeouts:          s.stats.timeouts.Load(),
+		Mutations:         s.stats.mutations.Load(),
+		Reloads:           s.stats.reloads.Load(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "server is draining for shutdown")
+		return
+	}
+	if s.cfg.SnapshotPath == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"no snapshot path configured; start the server with -index to enable reload")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Reloaded:          true,
+		EngineFingerprint: fmt.Sprintf("%016x", s.Engine().Fingerprint()),
+	})
+}

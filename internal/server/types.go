@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+
+	"d3l"
+)
+
+// This file defines the JSON wire format of the /v1 API. The response
+// shapes double as the golden-test fixtures: the regression suite
+// marshals library results through the same structs and asserts byte
+// equality against committed fixtures, so any field added or reordered
+// here fails the golden tests before it silently changes the wire.
+
+// TableJSON is a table on the wire: column names plus row-major string
+// cells, exactly the d3l.NewTable constructor arguments.
+type TableJSON struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// toTable materialises the wire table through the public constructor
+// (which infers column types and validates shape).
+func (t *TableJSON) toTable() (*d3l.Table, error) {
+	if t.Name == "" {
+		return nil, fmt.Errorf("table name is required")
+	}
+	if len(t.Columns) == 0 {
+		return nil, fmt.Errorf("table %q has no columns", t.Name)
+	}
+	return d3l.NewTable(t.Name, t.Columns, t.Rows)
+}
+
+// AlignmentJSON is one target-column alignment of a result.
+type AlignmentJSON struct {
+	TargetColumn int                `json:"targetColumn"`
+	AttrID       int                `json:"attrId"`
+	CandColumn   int                `json:"candColumn"`
+	Distances    d3l.DistanceVector `json:"distances"`
+}
+
+// ResultJSON is one ranked answer table.
+type ResultJSON struct {
+	TableID    int                `json:"tableId"`
+	Name       string             `json:"name"`
+	Distance   float64            `json:"distance"`
+	Vector     d3l.DistanceVector `json:"vector"`
+	Alignments []AlignmentJSON    `json:"alignments"`
+}
+
+// AugmentedJSON is one join-augmented answer (D3L+J).
+type AugmentedJSON struct {
+	Result       ResultJSON `json:"result"`
+	Paths        [][]int    `json:"paths"`
+	BaseCoverage float64    `json:"baseCoverage"`
+	JoinCoverage float64    `json:"joinCoverage"`
+}
+
+// ExplanationJSON is one Table I-style pairwise distance row.
+type ExplanationJSON struct {
+	TargetColumn string             `json:"targetColumn"`
+	SourceColumn string             `json:"sourceColumn"`
+	Distances    d3l.DistanceVector `json:"distances"`
+}
+
+func toResultJSON(r d3l.Result) ResultJSON {
+	out := ResultJSON{
+		TableID:    r.TableID,
+		Name:       r.Name,
+		Distance:   r.Distance,
+		Vector:     r.Vector,
+		Alignments: make([]AlignmentJSON, len(r.Alignments)),
+	}
+	for i, a := range r.Alignments {
+		out.Alignments[i] = AlignmentJSON{
+			TargetColumn: a.TargetColumn,
+			AttrID:       a.AttrID,
+			CandColumn:   a.CandColumn,
+			Distances:    a.Distances,
+		}
+	}
+	return out
+}
+
+func toResultsJSON(rs []d3l.Result) []ResultJSON {
+	out := make([]ResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = toResultJSON(r)
+	}
+	return out
+}
+
+func toAugmentedJSON(as []d3l.Augmented) []AugmentedJSON {
+	out := make([]AugmentedJSON, len(as))
+	for i, a := range as {
+		paths := make([][]int, len(a.Paths))
+		for j, p := range a.Paths {
+			paths[j] = []int(p)
+		}
+		out[i] = AugmentedJSON{
+			Result:       toResultJSON(a.Result),
+			Paths:        paths,
+			BaseCoverage: a.BaseCoverage,
+			JoinCoverage: a.JoinCoverage,
+		}
+	}
+	return out
+}
+
+func toExplanationsJSON(rows []d3l.PairExplanation) []ExplanationJSON {
+	out := make([]ExplanationJSON, len(rows))
+	for i, r := range rows {
+		out[i] = ExplanationJSON{
+			TargetColumn: r.TargetColumn,
+			SourceColumn: r.SourceColumn,
+			Distances:    r.Distances,
+		}
+	}
+	return out
+}
+
+// TopKRequest asks for the k most related lake tables of one target.
+type TopKRequest struct {
+	Table TableJSON `json:"table"`
+	K     int       `json:"k"`
+}
+
+// TopKResponse carries the ranked answer.
+type TopKResponse struct {
+	Results []ResultJSON `json:"results"`
+}
+
+// BatchRequest asks one top-k query per target table.
+type BatchRequest struct {
+	Tables []TableJSON `json:"tables"`
+	K      int         `json:"k"`
+}
+
+// BatchResponse is indexed like BatchRequest.Tables.
+type BatchResponse struct {
+	Results [][]ResultJSON `json:"results"`
+}
+
+// JoinsResponse carries the join-augmented answer for a TopKRequest
+// posted to /v1/joins.
+type JoinsResponse struct {
+	Results []AugmentedJSON `json:"results"`
+}
+
+// ExplainRequest asks for the pairwise distance breakdown between a
+// target table and one named lake table.
+type ExplainRequest struct {
+	Table     TableJSON `json:"table"`
+	LakeTable string    `json:"lakeTable"`
+}
+
+// ExplainResponse carries the Table I-style rows.
+type ExplainResponse struct {
+	Rows []ExplanationJSON `json:"rows"`
+}
+
+// AddTableRequest adds one table to the lake (incremental indexing).
+type AddTableRequest struct {
+	Table TableJSON `json:"table"`
+}
+
+// AddTableResponse reports the assigned table id.
+type AddTableResponse struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+// RemoveTableResponse acknowledges a removal.
+type RemoveTableResponse struct {
+	Removed string `json:"removed"`
+}
+
+// HealthResponse is the /v1/healthz body. It deliberately carries
+// only wait-free fields: a liveness probe must answer instantly even
+// while a mutation holds the engine write lock (table and attribute
+// counts, which read under that lock, live in /v1/statsz).
+type HealthResponse struct {
+	Status            string `json:"status"` // "ok" or "draining"
+	EngineFingerprint string `json:"engineFingerprint"`
+}
+
+// StatsResponse is the /v1/statsz body: serving counters since start.
+type StatsResponse struct {
+	EngineFingerprint string `json:"engineFingerprint"`
+	Tables            int    `json:"tables"`
+	Attributes        int    `json:"attributes"`
+	Requests          int64  `json:"requests"`
+	InFlight          int64  `json:"inFlight"`
+	CacheHits         int64  `json:"cacheHits"`
+	CacheMisses       int64  `json:"cacheMisses"`
+	Coalesced         int64  `json:"coalesced"` // identical misses that shared another request's computation
+	CacheEntries      int    `json:"cacheEntries"`
+	Rejected          int64  `json:"rejected"`    // 429: admission gate full
+	Unavailable       int64  `json:"unavailable"` // 503: draining
+	Timeouts          int64  `json:"timeouts"`    // 503: per-request deadline
+	Mutations         int64  `json:"mutations"`
+	Reloads           int64  `json:"reloads"`
+}
+
+// ReloadResponse acknowledges a hot snapshot reload.
+type ReloadResponse struct {
+	Reloaded          bool   `json:"reloaded"`
+	EngineFingerprint string `json:"engineFingerprint"`
+}
+
+// ErrorBody is the uniform error envelope: every non-2xx response is
+// {"error": {"code": ..., "message": ...}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a machine-readable code and a human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in ErrorDetail.Code.
+const (
+	CodeBadRequest  = "bad_request" // 400: malformed JSON or invalid parameters
+	CodeNotFound    = "not_found"   // 404: unknown lake table or route
+	CodeConflict    = "conflict"    // 409: duplicate table name on add
+	CodeTooLarge    = "too_large"   // 413: body exceeds MaxBodyBytes
+	CodeOverloaded  = "overloaded"  // 429: admission gate full
+	CodeInternal    = "internal"    // 500: unexpected engine failure
+	CodeUnavailable = "unavailable" // 503: server draining or reload failed
+	CodeTimeout     = "timeout"     // 503: per-request deadline exceeded
+)

@@ -6,10 +6,17 @@
 package table
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrDuplicateName reports an Add of a table whose name is already
+// taken. Callers branch on it with errors.Is — the HTTP serving layer
+// maps it to 409 — instead of inferring duplication from lake state,
+// which races concurrent mutations.
+var ErrDuplicateName = errors.New("lake: duplicate table name")
 
 // Type is the domain-independent type of a column. The paper assumes at
 // most attribute names and such types are known (Section I).
@@ -274,7 +281,7 @@ func NewLake() *Lake {
 // table names identify datasets in ground truths and join graphs.
 func (l *Lake) Add(t *Table) (int, error) {
 	if _, dup := l.byName[t.Name]; dup {
-		return 0, fmt.Errorf("lake: duplicate table name %q", t.Name)
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
 	id := len(l.tables)
 	l.tables = append(l.tables, t)

@@ -13,6 +13,7 @@ package d3l_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -351,6 +352,42 @@ func BenchmarkBatchTopK(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryVsTopK is the API-redesign overhead guard: the same
+// workload through the legacy TopK wrapper and through the unified
+// context-first Query call. The two sub-benchmarks must track each
+// other — the functional-option plumbing, per-query spec resolution
+// and the cooperative cancellation checkpoints are nanoseconds next to
+// the millisecond-scale ranking, and CI's benchstat gate flags any
+// drift. (TopK itself routes through Query, so this also measures
+// that the wrapper adds nothing on top.)
+func BenchmarkQueryVsTopK(b *testing.B) {
+	engine, targets := benchServingSetup(b, 1)
+	ctx := context.Background()
+	b.Run("TopK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.TopK(targets[i%len(targets)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Query(ctx, targets[i%len(targets)], d3l.WithK(10)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("QueryWithOptions", func(b *testing.B) {
+		w := d3l.DefaultWeights()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Query(ctx, targets[i%len(targets)],
+				d3l.WithK(10), d3l.WithWeights(w), d3l.WithCandidateBudget(64)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParallelSearch measures one query with its internal

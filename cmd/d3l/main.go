@@ -9,7 +9,8 @@
 //	d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
 //	d3l index build -dir DIR -out FILE.d3l [-workers N]
 //	d3l index info  -index FILE.d3l
-//	d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
+//	d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K
+//	                [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
 //	d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
 //	d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
 //	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080]
@@ -27,10 +28,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"d3l"
@@ -80,7 +85,8 @@ func usage() {
   d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
   d3l index build -dir DIR -out FILE.d3l [-workers N]
   d3l index info  -index FILE.d3l
-  d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K [-joins]
+  d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K
+                  [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
   d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
   d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D]
@@ -277,6 +283,31 @@ func cmdIndexInfo(args []string) error {
 	return nil
 }
 
+// queryContext returns a context cancelled by Ctrl-C / SIGTERM, so an
+// interrupted CLI query exits through the engine's cooperative
+// cancellation (the same plumbing the server uses to free admission
+// slots) instead of being killed mid-computation.
+func queryContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// parseEvidenceList resolves a comma-separated -evidence flag into
+// query options (empty means all five evidence types).
+func parseEvidenceList(list string) ([]d3l.QueryOption, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var types []d3l.Evidence
+	for _, part := range strings.Split(list, ",") {
+		ev, err := d3l.ParseEvidence(part)
+		if err != nil {
+			return nil, err
+		}
+		types = append(types, ev)
+	}
+	return []d3l.QueryOption{d3l.WithEvidence(types...)}, nil
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory of CSV files")
@@ -284,6 +315,9 @@ func cmdQuery(args []string) error {
 	targetPath := fs.String("target", "", "target table CSV")
 	k := fs.Int("k", 10, "answer size")
 	withJoins := fs.Bool("joins", false, "augment with SA-join paths (D3L+J)")
+	budget := fs.Int("budget", 0, "candidate budget per target attribute per index (0 = derived from k)")
+	evidence := fs.String("evidence", "", "comma-separated evidence subset: name,value,format,embedding,domain (empty = all)")
+	explainFor := fs.String("explain", "", "also print the Table I-style breakdown against this lake table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -298,26 +332,45 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts := []d3l.QueryOption{d3l.WithK(*k)}
 	if *withJoins {
-		augs, err := engine.TopKWithJoins(target, *k)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-24s %-9s %-9s %-9s %s\n", "table", "distance", "coverage", "cov+J", "paths")
-		for _, a := range augs {
-			fmt.Printf("%-24s %-9.3f %-9.2f %-9.2f %d\n",
-				a.Result.Name, a.Result.Distance, a.BaseCoverage, a.JoinCoverage, len(a.Paths))
-		}
-		return nil
+		opts = append(opts, d3l.WithJoins())
 	}
-	results, err := engine.TopK(target, *k)
+	if *budget > 0 {
+		opts = append(opts, d3l.WithCandidateBudget(*budget))
+	}
+	if *explainFor != "" {
+		opts = append(opts, d3l.WithExplainFor(*explainFor))
+	}
+	evOpts, err := parseEvidenceList(*evidence)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-24s %-9s %s\n", "table", "distance", "aligned target columns")
-	for _, r := range results {
-		fmt.Printf("%-24s %-9.3f %d/%d\n", r.Name, r.Distance, len(r.Alignments), target.Arity())
+	opts = append(opts, evOpts...)
+
+	ctx, stop := queryContext()
+	defer stop()
+	ans, err := engine.Query(ctx, target, opts...)
+	if err != nil {
+		return err
 	}
+	if *withJoins {
+		fmt.Printf("%-24s %-9s %-9s %-9s %s\n", "table", "distance", "coverage", "cov+J", "paths")
+		for _, a := range ans.Joins {
+			fmt.Printf("%-24s %-9.3f %-9.2f %-9.2f %d\n",
+				a.Result.Name, a.Result.Distance, a.BaseCoverage, a.JoinCoverage, len(a.Paths))
+		}
+	} else {
+		fmt.Printf("%-24s %-9s %s\n", "table", "distance", "aligned target columns")
+		for _, r := range ans.Results {
+			fmt.Printf("%-24s %-9.3f %d/%d\n", r.Name, r.Distance, len(r.Alignments), target.Arity())
+		}
+	}
+	if *explainFor != "" {
+		fmt.Printf("\nTable I breakdown vs %s:\n%s", *explainFor, d3l.FormatExplanation(ans.Explanation))
+	}
+	fmt.Printf("scored %d tables from %d candidate pairs in %v\n",
+		ans.Stats.TablesScored, ans.Stats.CandidatePairs, ans.Stats.Elapsed.Round(time.Microsecond))
 	return nil
 }
 
@@ -366,15 +419,17 @@ func cmdBatch(args []string) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("batch: no *.csv targets under %s", *targetsDir)
 	}
+	ctx, stop := queryContext()
+	defer stop()
 	start := time.Now()
-	answers, err := engine.BatchTopK(targets, *k)
+	answers, err := engine.QueryBatch(ctx, targets, d3l.WithK(*k))
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	for i, results := range answers {
+	for i, a := range answers {
 		fmt.Printf("# %s\n", targets[i].Name)
-		for _, r := range results {
+		for _, r := range a.Results {
 			fmt.Printf("  %-24s %.3f\n", r.Name, r.Distance)
 		}
 	}
@@ -404,7 +459,10 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	rows, err := engine.Explain(target, *name)
+	ctx, stop := queryContext()
+	defer stop()
+	// Explanation-only query: k 0 skips the ranking pipeline entirely.
+	ans, err := engine.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor(*name))
 	if errors.Is(err, d3l.ErrTableNotFound) {
 		// The typed miss gets an actionable message instead of a
 		// generic failure: the query ran fine, the name is just wrong.
@@ -413,7 +471,7 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(d3l.FormatExplanation(rows))
+	fmt.Print(d3l.FormatExplanation(ans.Explanation))
 	return nil
 }
 

@@ -15,7 +15,12 @@ import (
 
 // cmdServe runs the HTTP serving subsystem over a prebuilt snapshot
 // (the serve-many half of the build-once/serve-many flow) or, for
-// development, over a CSV directory indexed at startup.
+// development, over a CSV directory indexed at startup. The API is
+// /v1/query (the full per-query option set: k, joins, explainFor,
+// weights, evidence, candidateBudget) plus the legacy per-shape
+// endpoints; a request that exceeds -timeout or whose client
+// disconnects has its computation cancelled and its admission slot
+// freed immediately.
 //
 // Signals: SIGHUP hot-reloads the snapshot and atomically swaps the
 // serving engine under traffic (only with -index); SIGINT/SIGTERM

@@ -15,21 +15,30 @@
 //	lake := d3l.NewLake()
 //	lake.Add(someTable)                     // or d3l.LoadLakeDir("csvdir")
 //	engine, err := d3l.New(lake, d3l.DefaultOptions())
-//	results, err := engine.TopK(target, 10)
-//	augmented, err := engine.TopKWithJoins(target, 10)
+//	ans, err := engine.Query(ctx, target)   // top-10 by default
+//	ans, err = engine.Query(ctx, target,
+//		d3l.WithK(10), d3l.WithJoins(),     // D3L+J augmentation
+//		d3l.WithEvidence(d3l.EvidenceName, d3l.EvidenceValue))
+//
+// Query is the unified, context-first entry point: one parameterised
+// call covering ranking, join augmentation and explanation, with
+// cooperative cancellation end-to-end. The legacy quartet (TopK,
+// BatchTopK, TopKWithJoins, Explain) remains as thin wrappers over
+// Query with default options.
 //
 // The engine serves queries concurrently and the lake is mutable after
 // indexing:
 //
-//	batch, err := engine.BatchTopK(targets, 10) // many queries, one pool
-//	id, err := engine.Add(newTable)             // incremental indexing
-//	err = engine.Remove("stale_table")          // incremental deletion
+//	batch, err := engine.QueryBatch(ctx, targets) // many queries, one pool
+//	id, err := engine.Add(newTable)               // incremental indexing
+//	err = engine.Remove("stale_table")            // incremental deletion
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the mapping between this library and the paper.
 package d3l
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -117,11 +126,11 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 func DefaultWeights() Weights { return core.DefaultWeights() }
 
 // Engine is an indexed data lake ready for discovery queries. Build it
-// once with New. The engine is safe for concurrent use: queries (TopK,
-// BatchTopK, TopKWithJoins, Explain) run concurrently with each other
-// and with the incremental mutations Add and Remove. The SA-join graph
-// for TopKWithJoins is built lazily on first use, reused across
-// queries, and rebuilt after a mutation.
+// once with New. The engine is safe for concurrent use: queries
+// (Query, QueryBatch and the legacy wrappers) run concurrently with
+// each other and with the incremental mutations Add and Remove. The
+// SA-join graph for WithJoins queries is built lazily on first use,
+// reused across queries, and rebuilt after a mutation.
 type Engine struct {
 	core *core.Engine
 
@@ -148,16 +157,30 @@ func New(lake *Lake, opts Options) (*Engine, error) {
 }
 
 // TopK returns the k most related lake tables for the target, most
-// related first (Section III-D).
+// related first (Section III-D). It is Query with default options and
+// no deadline; prefer Query in serving paths that need cancellation.
 func (e *Engine) TopK(target *Table, k int) ([]Result, error) {
-	return e.core.TopK(target, k)
+	ans, err := e.Query(context.Background(), target, WithK(k))
+	if err != nil {
+		return nil, err
+	}
+	return ans.Results, nil
 }
 
 // BatchTopK answers one top-k query per target concurrently, bounded
 // by Options.Parallelism — the high-throughput serving primitive. The
-// answer slice is indexed like targets.
+// answer slice is indexed like targets. It is QueryBatch with default
+// options and no deadline.
 func (e *Engine) BatchTopK(targets []*Table, k int) ([][]Result, error) {
-	return e.core.BatchTopK(targets, k)
+	answers, err := e.QueryBatch(context.Background(), targets, WithK(k))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(answers))
+	for i, a := range answers {
+		out[i] = a.Results
+	}
+	return out, nil
 }
 
 // Add profiles and indexes a new table, returning its id. The table is
@@ -201,40 +224,47 @@ func (e *Engine) invalidateGraph() {
 	e.graphMu.Unlock()
 }
 
-// joinGraph returns the cached SA-join graph, building it if needed.
+// joinGraph returns the cached SA-join graph, building it if needed
+// (the uncancellable form used by Save and JoinGraphEdges).
+func (e *Engine) joinGraph() *joins.Graph {
+	g, _ := e.joinGraphCtx(context.Background())
+	return g
+}
+
+// joinGraphCtx returns the cached SA-join graph, building it under ctx
+// if needed; a cancelled build returns ctx.Err() and caches nothing.
 // Callers hold e.mu in read mode, which excludes mutations for the
 // duration; graphMu only arbitrates concurrent readers, so two of
 // them may build duplicate graphs (wasted work, never incorrect —
 // the first one wins the cache).
-func (e *Engine) joinGraph() *joins.Graph {
+func (e *Engine) joinGraphCtx(ctx context.Context) (*joins.Graph, error) {
 	e.graphMu.Lock()
 	g := e.graph
 	e.graphMu.Unlock()
 	if g != nil {
-		return g
+		return g, nil
 	}
-	built := joins.BuildGraph(e.core, joins.DefaultGraphOptions())
+	built, err := joins.BuildGraphCtx(ctx, e.core, joins.DefaultGraphOptions())
+	if err != nil {
+		return nil, err
+	}
 	e.graphMu.Lock()
 	defer e.graphMu.Unlock()
 	if e.graph == nil {
 		e.graph = built
 	}
-	return e.graph
+	return e.graph, nil
 }
 
 // TopKWithJoins returns the top-k answer augmented with SA-join paths
-// and Eq. 4/5 coverage — the paper's D3L+J (Section IV). The whole
-// call holds the mutation lock in read mode: graph building and path
-// augmentation hold profile pointers across many engine calls, so they
-// must not interleave with Add/Remove.
+// and Eq. 4/5 coverage — the paper's D3L+J (Section IV). It is Query
+// with WithJoins and no deadline.
 func (e *Engine) TopKWithJoins(target *Table, k int) ([]Augmented, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	res, err := e.core.Search(target, k)
+	ans, err := e.Query(context.Background(), target, WithK(k), WithJoins())
 	if err != nil {
 		return nil, err
 	}
-	return joins.Augment(e.core, e.joinGraph(), res, joins.DefaultPathOptions())
+	return ans.Joins, nil
 }
 
 // Save writes a versioned, checksummed binary snapshot of the engine —
@@ -327,9 +357,14 @@ func (e *Engine) Compact() error {
 }
 
 // Explain returns the Table I-style pairwise distance rows between the
-// target and one lake table.
+// target and one lake table. It is an explanation-only Query
+// (WithK(0), WithExplainFor) with no deadline.
 func (e *Engine) Explain(target *Table, lakeTable string) ([]PairExplanation, error) {
-	return e.core.Explain(target, lakeTable)
+	ans, err := e.Query(context.Background(), target, WithK(0), WithExplainFor(lakeTable))
+	if err != nil {
+		return nil, err
+	}
+	return ans.Explanation, nil
 }
 
 // FormatExplanation renders explanation rows like the paper's Table I.
@@ -364,10 +399,14 @@ func (e *Engine) JoinGraphEdges() int {
 	return e.joinGraph().Edges()
 }
 
-// TableName resolves a table id to its name.
+// TableName resolves a table id to its name, safely under concurrent
+// mutations (the lookup runs under the engine's query lock, so it
+// never races an Add or Remove splicing the lake).
 func (e *Engine) TableName(id int) (string, error) {
-	if id < 0 || id >= e.core.Lake().Len() {
-		return "", fmt.Errorf("d3l: table id %d out of range", id)
-	}
-	return e.core.Lake().Table(id).Name, nil
+	return e.core.TableNameByID(id)
 }
+
+// Tables returns the names of the live (non-tombstoned) tables,
+// sorted, safely under concurrent mutations. The slice is a
+// point-in-time copy.
+func (e *Engine) Tables() []string { return e.core.TableNames() }

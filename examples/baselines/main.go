@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -75,12 +76,12 @@ func main() {
 	for _, name := range targets {
 		target := lake.ByName(name)
 
-		res, err := engine.TopK(target, k+1)
+		ans, err := engine.Query(context.Background(), target, d3l.WithK(k+1))
 		if err != nil {
 			log.Fatal(err)
 		}
 		var names []string
-		for _, r := range res {
+		for _, r := range ans.Results {
 			names = append(names, r.Name)
 		}
 		pd3l += precision(name, names)

@@ -1,11 +1,13 @@
 // Incremental: the serving-shaped workflow of a live data lake. We
 // index the Figure 1 lake, answer a batch of queries concurrently with
-// BatchTopK, then mutate the lake while it serves: Add a new payments
-// table (immediately discoverable), Remove it again (immediately
+// QueryBatch (under a cancellable context, as a serving layer would),
+// then mutate the lake while it serves: Add a new payments table
+// (immediately discoverable), Remove it again (immediately
 // unreachable), all against the same engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,15 +62,17 @@ func main() {
 			{"Blackfriars", "1a Chapel St", "Salford", "M3 6AF"},
 		})
 
-	// A batch of queries through one worker pool.
-	answers, err := engine.BatchTopK([]*d3l.Table{target, target}, 3)
+	// A batch of queries through one worker pool. The context would
+	// let a serving layer abandon the whole batch mid-flight.
+	ctx := context.Background()
+	answers, err := engine.QueryBatch(ctx, []*d3l.Table{target, target}, d3l.WithK(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("batch of 2 identical queries:")
-	for i, ranked := range answers {
+	for i, a := range answers {
 		fmt.Printf("  query %d:", i)
-		for _, r := range ranked {
+		for _, r := range a.Results {
 			fmt.Printf(" %s(%.3f)", r.Name, r.Distance)
 		}
 		fmt.Println()
@@ -84,12 +88,12 @@ func main() {
 	if _, err := engine.Add(s4); err != nil {
 		log.Fatal(err)
 	}
-	results, err := engine.TopK(target, 4)
+	ans, err := engine.Query(ctx, target, d3l.WithK(4))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after Add(S4_payments):")
-	for _, r := range results {
+	for _, r := range ans.Results {
 		fmt.Printf("  %-12s %.3f\n", r.Name, r.Distance)
 	}
 
@@ -97,12 +101,12 @@ func main() {
 	if err := engine.Remove("S4_payments"); err != nil {
 		log.Fatal(err)
 	}
-	results, err = engine.TopK(target, 4)
+	ans, err = engine.Query(ctx, target, d3l.WithK(4))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after Remove(S4_payments):")
-	for _, r := range results {
+	for _, r := range ans.Results {
 		fmt.Printf("  %-12s %.3f\n", r.Name, r.Distance)
 	}
 }

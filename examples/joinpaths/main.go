@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,10 +33,11 @@ func main() {
 	targets := datagen.PickTargets(lake, gt, 3, 5)
 	for _, name := range targets {
 		target := lake.ByName(name)
-		augs, err := engine.TopKWithJoins(target, 4)
+		ans, err := engine.Query(context.Background(), target, d3l.WithK(4), d3l.WithJoins())
 		if err != nil {
 			log.Fatal(err)
 		}
+		augs := ans.Joins
 		fmt.Printf("target %s (%d columns):\n", name, target.Arity())
 		var base, joined float64
 		for _, a := range augs {

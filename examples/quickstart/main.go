@@ -1,11 +1,13 @@
 // Quickstart: the paper's Figure 1 scenario end-to-end with the public
-// d3l API. We build a small lake {S1, S2, S3}, index it, query with the
-// target T, print the top-k answer, the Table I-style distance
-// breakdown for S2, and the join-augmented answer that pulls in S3's
-// Opening hours through a join on practice names.
+// d3l API. We build a small lake {S1, S2, S3}, index it, and answer
+// everything with ONE context-first Query call: the top-k ranking, the
+// Table I-style distance breakdown for S2, and the join-augmented
+// answer that pulls in S3's Opening hours through a join on practice
+// names — the paper's "one parameterised query" framing made literal.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,29 +72,27 @@ func main() {
 			{"Bolton Medical", "21 Rupert St", "Bolton", "BL3 6PY", "08:00-16:00"},
 		})
 
-	fmt.Println("-- top-3 related tables --")
-	results, err := engine.TopK(target, 3)
+	// One query, three sections: ranking, join augmentation and the
+	// Table I explanation, all under one cancellable context.
+	ans, err := engine.Query(context.Background(), target,
+		d3l.WithK(3),
+		d3l.WithJoins(),
+		d3l.WithExplainFor("S2"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
+
+	fmt.Println("-- top-3 related tables --")
+	for _, r := range ans.Results {
 		fmt.Printf("%-6s distance=%.3f covered target columns=%d/%d\n",
 			r.Name, r.Distance, len(r.Alignments), target.Arity())
 	}
 
 	fmt.Println("\n-- Table I: per-pair evidence distances (T vs S2) --")
-	rows, err := engine.Explain(target, "S2")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(d3l.FormatExplanation(rows))
+	fmt.Print(d3l.FormatExplanation(ans.Explanation))
 
 	fmt.Println("\n-- D3L+J: join paths raise target coverage --")
-	augs, err := engine.TopKWithJoins(target, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, a := range augs {
+	for _, a := range ans.Joins {
 		fmt.Printf("%-6s coverage=%.2f with joins=%.2f paths=%d\n",
 			a.Result.Name, a.BaseCoverage, a.JoinCoverage, len(a.Paths))
 		for _, p := range a.Paths {
@@ -104,4 +104,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	fmt.Printf("\nscored %d tables from %d candidate pairs in %v\n",
+		ans.Stats.TablesScored, ans.Stats.CandidatePairs, ans.Stats.Elapsed)
 }

@@ -31,22 +31,30 @@ func jaccardSimilarity(a, b minhash.Signature) float64 {
 // are the profiles of the respective tables' subject attributes (nil
 // when a table has none). Disabled evidence types report distance 1.
 func (e *Engine) PairDistances(target, cand, targetSubject, candSubject *Profile) DistanceVector {
+	return e.pairDistances(target, cand, targetSubject, candSubject, e.opts.Disabled)
+}
+
+// pairDistances is PairDistances under an explicit evidence mask — the
+// per-query form: a query's Disabled mask (engine mask OR-ed with the
+// QuerySpec override) selects which of the five distances are
+// computed, without touching engine state.
+func (e *Engine) pairDistances(target, cand, targetSubject, candSubject *Profile, disabled [NumEvidence]bool) DistanceVector {
 	d := MaxDistances()
-	if !e.opts.Disabled[EvidenceName] {
+	if !disabled[EvidenceName] {
 		d[EvidenceName] = jaccardDistance(target.QSig, cand.QSig)
 	}
-	if !e.opts.Disabled[EvidenceValue] && !target.Numeric && !cand.Numeric {
+	if !disabled[EvidenceValue] && !target.Numeric && !cand.Numeric {
 		d[EvidenceValue] = jaccardDistance(target.TSig, cand.TSig)
 	}
-	if !e.opts.Disabled[EvidenceFormat] {
+	if !disabled[EvidenceFormat] {
 		d[EvidenceFormat] = jaccardDistance(target.RSig, cand.RSig)
 	}
-	if !e.opts.Disabled[EvidenceEmbedding] && !target.EZero && !cand.EZero {
+	if !disabled[EvidenceEmbedding] && !target.EZero && !cand.EZero {
 		if dist, err := lsh.CosineDistance(target.ESig, cand.ESig, e.opts.EmbedBits); err == nil {
 			d[EvidenceEmbedding] = dist
 		}
 	}
-	if !e.opts.Disabled[EvidenceDomain] {
+	if !disabled[EvidenceDomain] {
 		d[EvidenceDomain] = e.domainDistance(target, cand, targetSubject, candSubject)
 	}
 	return d

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +22,18 @@ type PairExplanation struct {
 // pairs related by at least one index (distance < 1 on some evidence)
 // are reported, as in the paper's grouping step.
 func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanation, error) {
+	return e.ExplainSpec(context.Background(), target, lakeTable, QuerySpec{K: 1})
+}
+
+// ExplainSpec is the context-first, per-query-parameterised Explain:
+// the spec's evidence mask applies to every pair distance (K and the
+// remaining spec fields do not affect explanations), and cancellation
+// is checked between target columns — a cancelled call returns
+// ctx.Err(), never partial rows.
+func (e *Engine) ExplainSpec(ctx context.Context, target *table.Table, lakeTable string, spec QuerySpec) ([]PairExplanation, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: nil target")
+	}
 	// Check the name before profiling the target: profiling is the
 	// dominant cost and must not be spent on the error path.
 	e.mu.RLock()
@@ -29,6 +42,9 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 	if !ok {
 		return nil, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, lakeTable)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tprofiles := e.ProfileTarget(target)
 	var tsubject *Profile
 	for i := range tprofiles {
@@ -36,10 +52,25 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 			tsubject = &tprofiles[i]
 		}
 	}
+	return e.ExplainProfiled(ctx, target, tprofiles, tsubject, lakeTable, spec)
+}
+
+// ExplainProfiled is ExplainSpec with the target already profiled — the
+// unified query path profiles once and reuses the result for both the
+// ranking and the explanation. tprofiles/tsubject must come from
+// ProfileTarget on exactly target.
+func (e *Engine) ExplainProfiled(ctx context.Context, target *table.Table, tprofiles []Profile, tsubject *Profile, lakeTable string, spec QuerySpec) ([]PairExplanation, error) {
+	// K does not shape an explanation; resolve is reused only for its
+	// validation and evidence-mask merge.
+	spec.K = 1
+	view, err := e.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	// Re-resolve under the query lock: the table may have been removed
-	// between the cheap check and here.
+	// between any earlier check and here.
 	tid, ok := e.lake.IDByName(lakeTable)
 	if !ok {
 		return nil, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, lakeTable)
@@ -50,9 +81,12 @@ func (e *Engine) Explain(target *table.Table, lakeTable string) ([]PairExplanati
 	}
 	var rows []PairExplanation
 	for i := range tprofiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, attrID := range e.byTable[tid] {
 			cand := &e.profiles[attrID]
-			d := e.PairDistances(&tprofiles[i], cand, tsubject, candSubject)
+			d := e.pairDistances(&tprofiles[i], cand, tsubject, candSubject, view.disabled)
 			related := false
 			for _, v := range d {
 				if v < 1 {

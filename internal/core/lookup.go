@@ -1,5 +1,10 @@
 package core
 
+import (
+	"fmt"
+	"sort"
+)
+
 // VCandidates queries the value index I_V with a lake attribute's own
 // tset signature and returns candidate attribute ids (excluding the
 // queried attribute). It backs the SA-join graph construction of
@@ -45,6 +50,36 @@ func (e *Engine) HasTable(name string) bool {
 	defer e.mu.RUnlock()
 	_, ok := e.lake.IDByName(name)
 	return ok
+}
+
+// TableNameByID resolves a table id to its name under the query lock —
+// the mutation-safe alternative to Lake().Table(id).Name for callers
+// that run concurrently with Add/Remove. Ids of removed tables still
+// resolve (to the name their tombstoned stub retains), matching the
+// Lake's stable-id contract.
+func (e *Engine) TableNameByID(id int) (string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || id >= e.lake.Len() {
+		return "", fmt.Errorf("core: table id %d out of range", id)
+	}
+	return e.lake.Table(id).Name, nil
+}
+
+// TableNames returns the names of the live (non-tombstoned) tables,
+// sorted, under the query lock. The slice is freshly allocated — a
+// point-in-time listing that stays valid after mutations land.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	out := make([]string, 0, len(e.alive))
+	for tid := range e.alive {
+		if e.alive[tid] {
+			out = append(out, e.lake.Table(tid).Name)
+		}
+	}
+	e.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // TableRelatedToTarget reports whether any attribute of the lake table

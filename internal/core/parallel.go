@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,6 +43,65 @@ func forEachIndex(n, parallelism int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// forEachIndexCtx is forEachIndex with cooperative cancellation: no
+// further fn(i) starts once ctx is cancelled, already-started calls
+// run to completion, and the ctx error (if any) is returned after the
+// pool drains. Callers treat a non-nil return as "the work is
+// incomplete — discard it"; a context that cancels in the instant
+// between the last fn returning and the pool draining still reports
+// the error, which keeps the contract simple (cancelled ⇒ ctx.Err(),
+// never a partial answer). A background context takes the original
+// uninstrumented path.
+func forEachIndexCtx(ctx context.Context, n, parallelism int, fn func(int)) error {
+	if ctx.Done() == nil {
+		forEachIndex(n, parallelism, fn)
+		return nil
+	}
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForEachQuery runs fn(i) for every i in [0,n) across the engine's
+// query worker pool (bounded by Options.Parallelism), honouring ctx:
+// no further fn starts once ctx is cancelled and the ctx error is
+// returned after the pool drains. It is the fan-out primitive the
+// public layer's QueryBatch shares with BatchSearchSpec, so both sides
+// obey one parallelism setting. fn must write only to its own index's
+// state.
+func (e *Engine) ForEachQuery(ctx context.Context, n int, fn func(int)) error {
+	return forEachIndexCtx(ctx, n, e.queryParallelism(), fn)
 }
 
 // queryParallelism resolves Options.Parallelism for the query side.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -31,6 +32,18 @@ type TableResult struct {
 	Alignments []Alignment
 }
 
+// SearchStats summarises the work one query did — deterministic
+// counters (identical at any parallelism), so they are safe to cache
+// and to expose on the wire.
+type SearchStats struct {
+	// CandidatePairs counts the (target column, candidate attribute)
+	// distance vectors computed in the gathering phase.
+	CandidatePairs int
+	// TablesScored counts the candidate tables scored before the
+	// top-k cut.
+	TablesScored int
+}
+
 // SearchResult carries the ranked answer plus the target profiles, so
 // downstream stages (join-path discovery) reuse the profiling work.
 type SearchResult struct {
@@ -38,6 +51,7 @@ type SearchResult struct {
 	TargetProfiles []Profile
 	TargetSubject  *Profile // nil when the target has no subject attr
 	Ranked         []TableResult
+	Stats          SearchStats
 }
 
 // TopK returns the k most related tables of the lake for the target.
@@ -64,33 +78,63 @@ type candidatePair struct {
 // path (candidates are processed in attribute-id order and the final
 // sort breaks distance ties by name).
 func (e *Engine) Search(target *table.Table, k int) (*SearchResult, error) {
-	return e.search(target, k, e.queryParallelism())
+	return e.SearchSpec(context.Background(), target, QuerySpec{K: k})
+}
+
+// SearchSpec is the context-first, per-query-parameterised form of
+// Search. Cancellation is cooperative: the pipeline checks ctx between
+// candidate batches and between table-scoring slots, and a cancelled
+// query returns ctx.Err() — never a partial answer. The per-query
+// overrides in spec never touch engine state, so concurrent queries
+// with different weights or evidence masks do not interfere.
+func (e *Engine) SearchSpec(ctx context.Context, target *table.Table, spec QuerySpec) (*SearchResult, error) {
+	return e.searchSpec(ctx, target, spec, e.resolveParallelism(spec.Parallelism))
 }
 
 // BatchTopK answers one top-k query per target, running the queries
 // concurrently across Options.Parallelism workers — the serving
-// primitive for many-user traffic. Each query runs its own pipeline
-// sequentially (cross-query parallelism already saturates the pool)
-// under its own read lock, so batches proceed concurrently with other
-// queries and interleave safely with Add/Remove; a mutation landing
-// mid-batch is consequently visible to some answers and not others,
-// exactly as if the queries had been issued individually. The answer
-// slice is indexed like targets; the first query error aborts the
-// batch.
+// primitive for many-user traffic.
 func (e *Engine) BatchTopK(targets []*table.Table, k int) ([][]TableResult, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	results, err := e.BatchSearchSpec(context.Background(), targets, QuerySpec{K: k})
+	if err != nil {
+		return nil, err
 	}
-	out := make([][]TableResult, len(targets))
+	out := make([][]TableResult, len(results))
+	for i, r := range results {
+		out[i] = r.Ranked
+	}
+	return out, nil
+}
+
+// BatchSearchSpec runs SearchSpec once per target across the worker
+// pool. Each query runs its own pipeline sequentially (cross-query
+// parallelism already saturates the pool) under its own read lock, so
+// batches proceed concurrently with other queries and interleave
+// safely with Add/Remove; a mutation landing mid-batch is consequently
+// visible to some answers and not others, exactly as if the queries
+// had been issued individually. The answer slice is indexed like
+// targets. Cancellation wins over per-target failures: once ctx is
+// cancelled, workers stop picking up targets and the call returns
+// ctx.Err(); otherwise the first query error aborts the batch.
+func (e *Engine) BatchSearchSpec(ctx context.Context, targets []*table.Table, spec QuerySpec) ([]*SearchResult, error) {
+	if spec.K <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", spec.K)
+	}
+	inner := spec
+	inner.Parallelism = 1
+	out := make([]*SearchResult, len(targets))
 	errs := make([]error, len(targets))
-	forEachIndex(len(targets), e.queryParallelism(), func(i int) {
-		res, err := e.search(targets[i], k, 1)
+	poolErr := forEachIndexCtx(ctx, len(targets), e.resolveParallelism(spec.Parallelism), func(i int) {
+		res, err := e.searchSpec(ctx, targets[i], inner, 1)
 		if err != nil {
 			errs[i] = fmt.Errorf("target %d: %w", i, err)
 			return
 		}
-		out[i] = res.Ranked
+		out[i] = res
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -99,14 +143,18 @@ func (e *Engine) BatchTopK(targets []*table.Table, k int) ([][]TableResult, erro
 	return out, nil
 }
 
-// search is the Section III-D pipeline at an explicit parallelism
+// searchSpec is the Section III-D pipeline at an explicit parallelism
 // (tests compare parallel against sequential output directly).
-func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult, error) {
+func (e *Engine) searchSpec(ctx context.Context, target *table.Table, spec QuerySpec, parallelism int) (*SearchResult, error) {
 	if target == nil {
 		return nil, fmt.Errorf("core: nil target")
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	view, err := e.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Profiling the target touches only the immutable hash machinery,
 	// so it runs outside the lock and never delays mutations.
@@ -117,13 +165,8 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 			tsubject = &tprofiles[i]
 		}
 	}
-
-	budget := e.opts.CandidateBudget
-	if budget == 0 {
-		budget = 4 * k
-		if budget < 64 {
-			budget = 64
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	e.mu.RLock()
@@ -132,12 +175,15 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 	// Phase 1: per target attribute, gather candidates from the four
 	// indexes and compute pair distances. Columns are independent, so
 	// they fan out across the pool.
-	pairs := e.gatherPairs(tprofiles, tsubject, budget, parallelism)
+	pairs, err := e.gatherPairs(ctx, tprofiles, tsubject, view, parallelism)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: per (target column, evidence type), build the R_t
 	// distance distributions backing the Eq. 2 CCDF weights.
 	var ecdfs *distanceECDFs
-	if !e.opts.UniformEq1Weights {
+	if !view.uniform {
 		ecdfs = buildDistanceECDFs(len(tprofiles), pairs)
 	}
 
@@ -156,22 +202,24 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 	sort.Ints(tids)
 	scored := make([]TableResult, len(tids))
 	valid := make([]bool, len(tids))
-	forEachIndex(len(tids), parallelism, func(i int) {
+	if err := forEachIndexCtx(ctx, len(tids), parallelism, func(i int) {
 		tid := tids[i]
 		aligns := e.alignColumns(byTable[tid])
 		if len(aligns) == 0 {
 			return
 		}
-		vec := aggregateEq1(aligns, ecdfs, e.opts.Disabled)
+		vec := aggregateEq1(aligns, ecdfs, view.disabled)
 		scored[i] = TableResult{
 			TableID:    tid,
 			Name:       e.lake.Table(tid).Name,
-			Distance:   e.combineEq3(vec),
+			Distance:   combineEq3(view.weights, view.disabled, vec),
 			Vector:     vec,
 			Alignments: aligns,
 		}
 		valid[i] = true
-	})
+	}); err != nil {
+		return nil, err
+	}
 	results := make([]TableResult, 0, len(tids))
 	for i := range scored {
 		if valid[i] {
@@ -184,15 +232,25 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 		}
 		return results[i].Name < results[j].Name
 	})
-	if len(results) > k {
-		results = results[:k]
+	if len(results) > view.k {
+		results = results[:view.k]
 	}
 	return &SearchResult{
 		Target:         target,
 		TargetProfiles: tprofiles,
 		TargetSubject:  tsubject,
 		Ranked:         results,
+		Stats: SearchStats{
+			CandidatePairs: len(pairs),
+			TablesScored:   len(tids),
+		},
 	}, nil
+}
+
+// search is the legacy test shim: the default spec at an explicit
+// parallelism.
+func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult, error) {
+	return e.searchSpec(context.Background(), target, QuerySpec{K: k}, parallelism)
 }
 
 // gatherPairs performs the index lookups of Section III-D: for each
@@ -201,45 +259,57 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 // across the worker pool; within a column candidates are processed in
 // ascending attribute-id order, which (together with the per-column
 // result slots) makes the pair list identical at any parallelism.
-// Callers must hold e.mu.
-func (e *Engine) gatherPairs(tprofiles []Profile, tsubject *Profile, budget, parallelism int) []candidatePair {
+// Cancellation is checked between columns and between candidate
+// batches inside each column. Callers must hold e.mu.
+func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject *Profile, view specView, parallelism int) ([]candidatePair, error) {
 	perCol := make([][]candidatePair, len(tprofiles))
-	forEachIndex(len(tprofiles), parallelism, func(col int) {
-		perCol[col] = e.gatherColumn(col, &tprofiles[col], tsubject, budget)
-	})
+	if err := forEachIndexCtx(ctx, len(tprofiles), parallelism, func(col int) {
+		perCol[col] = e.gatherColumn(ctx, col, &tprofiles[col], tsubject, view)
+	}); err != nil {
+		return nil, err
+	}
 	var pairs []candidatePair
 	for _, colPairs := range perCol {
 		pairs = append(pairs, colPairs...)
 	}
-	return pairs
+	return pairs, nil
 }
 
+// candidateBatch is how many pair-distance computations run between
+// cancellation checks inside one column: small enough that a cancelled
+// query releases its worker within microseconds, large enough that the
+// check is free next to the distance arithmetic.
+const candidateBatch = 64
+
 // gatherColumn collects the deduplicated candidate set of one target
-// column from the four forests and computes the pair distances.
-func (e *Engine) gatherColumn(col int, tp *Profile, tsubject *Profile, budget int) []candidatePair {
+// column from the four forests and computes the pair distances. A
+// cancelled context truncates the work; the caller discards the
+// partial result (gatherPairs returns ctx.Err()), so truncation is
+// never observable in an answer.
+func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubject *Profile, view specView) []candidatePair {
 	seen := make(map[int32]struct{})
 	collect := func(ids []int32) {
 		for _, id := range ids {
 			seen[id] = struct{}{}
 		}
 	}
-	if !e.opts.Disabled[EvidenceName] {
-		if ids, err := e.forestN.Query(tp.QSig, budget); err == nil {
+	if !view.disabled[EvidenceName] {
+		if ids, err := e.forestN.Query(tp.QSig, view.budget); err == nil {
 			collect(ids)
 		}
 	}
-	if !e.opts.Disabled[EvidenceValue] && !tp.Numeric {
-		if ids, err := e.forestV.Query(tp.TSig, budget); err == nil {
+	if !view.disabled[EvidenceValue] && !tp.Numeric {
+		if ids, err := e.forestV.Query(tp.TSig, view.budget); err == nil {
 			collect(ids)
 		}
 	}
-	if !e.opts.Disabled[EvidenceFormat] {
-		if ids, err := e.forestF.Query(tp.RSig, budget); err == nil {
+	if !view.disabled[EvidenceFormat] {
+		if ids, err := e.forestF.Query(tp.RSig, view.budget); err == nil {
 			collect(ids)
 		}
 	}
-	if !e.opts.Disabled[EvidenceEmbedding] && !tp.EZero {
-		if ids, err := e.forestE.Query(tp.ESig.HashValues(), budget); err == nil {
+	if !view.disabled[EvidenceEmbedding] && !tp.EZero {
+		if ids, err := e.forestE.Query(tp.ESig.HashValues(), view.budget); err == nil {
 			collect(ids)
 		}
 	}
@@ -249,13 +319,16 @@ func (e *Engine) gatherColumn(col int, tp *Profile, tsubject *Profile, budget in
 	}
 	sort.Ints(ids)
 	out := make([]candidatePair, 0, len(ids))
-	for _, id := range ids {
+	for n, id := range ids {
+		if n%candidateBatch == 0 && ctx.Err() != nil {
+			return nil
+		}
 		cand := &e.profiles[id]
 		var candSubject *Profile
 		if s := e.subjects[cand.Ref.TableID]; s >= 0 {
 			candSubject = &e.profiles[s]
 		}
-		d := e.PairDistances(tp, cand, tsubject, candSubject)
+		d := e.pairDistances(tp, cand, tsubject, candSubject, view.disabled)
 		out = append(out, candidatePair{targetCol: col, attrID: id, dist: d})
 	}
 	return out
@@ -376,15 +449,15 @@ func aggregateEq1(aligns []Alignment, ecdfs *distanceECDFs, disabled [NumEvidenc
 }
 
 // combineEq3 reduces the 5-vector to the scalar relatedness distance
-// with the learned weights: sqrt(Σ(w_t·d_t)² / Σw_t), normalised by its
+// with the given weights: sqrt(Σ(w_t·d_t)² / Σw_t), normalised by its
 // maximum attainable value (the all-ones vector) so the result stays in
 // [0, 1] for any weight magnitudes — Eq. 3 as written is unbounded when
 // some w_t > 1, and learned coefficients routinely are.
-func (e *Engine) combineEq3(vec DistanceVector) float64 {
+func combineEq3(weights Weights, disabled [NumEvidence]bool, vec DistanceVector) float64 {
 	var num, den, max float64
 	for t := 0; t < int(NumEvidence); t++ {
-		w := e.opts.Weights[t]
-		if e.opts.Disabled[t] {
+		w := weights[t]
+		if disabled[t] {
 			w = 0
 		}
 		num += (w * vec[t]) * (w * vec[t])
@@ -402,4 +475,10 @@ func (e *Engine) combineEq3(vec DistanceVector) float64 {
 		return 1
 	}
 	return d
+}
+
+// combineEq3 applies the engine-level weights and mask (equation tests
+// exercise the formula through this form).
+func (e *Engine) combineEq3(vec DistanceVector) float64 {
+	return combineEq3(e.opts.Weights, e.opts.Disabled, vec)
 }

@@ -7,6 +7,7 @@
 package joins
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -49,6 +50,15 @@ type Graph struct {
 // estimated overlap coefficient clears the bound and at least one
 // endpoint is a subject attribute (the two SA-joinability conditions).
 func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
+	// A background context cannot cancel, so the error is unreachable.
+	g, _ := BuildGraphCtx(context.Background(), e, opts)
+	return g
+}
+
+// BuildGraphCtx is BuildGraph with cooperative cancellation: the build
+// checks ctx between tables and returns ctx.Err() with no graph when
+// cancelled — a partial graph is never handed out.
+func BuildGraphCtx(ctx context.Context, e *core.Engine, opts GraphOptions) (*Graph, error) {
 	if opts.CandidateBudget <= 0 {
 		opts.CandidateBudget = 256
 	}
@@ -56,6 +66,9 @@ func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
 	lake := e.Lake()
 	seen := make(map[[2]int]bool) // undirected table-pair dedup
 	for tid := 0; tid < lake.Len(); tid++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !e.AliveTable(tid) {
 			continue // tombstoned by Engine.Remove
 		}
@@ -90,7 +103,7 @@ func BuildGraph(e *core.Engine, opts GraphOptions) *Graph {
 	for tid := range g.adj {
 		sort.Slice(g.adj[tid], func(i, j int) bool { return g.adj[tid][i].Overlap > g.adj[tid][j].Overlap })
 	}
-	return g
+	return g, nil
 }
 
 // overlapFloor resolves the per-pair overlap threshold.
@@ -144,6 +157,15 @@ func DefaultPathOptions() PathOptions {
 // are outside the top-k, acyclic, and related to the target by at least
 // one index.
 func FindJoinPaths(g *Graph, topK []int, targetProfiles []core.Profile, opts PathOptions) map[int][]Path {
+	out, _ := FindJoinPathsCtx(context.Background(), g, topK, targetProfiles, opts)
+	return out
+}
+
+// FindJoinPathsCtx is FindJoinPaths with cooperative cancellation: the
+// traversal checks ctx between DFS nodes (the target-relatedness guard
+// behind each node is the expensive step) and returns ctx.Err() with
+// no paths when cancelled.
+func FindJoinPathsCtx(ctx context.Context, g *Graph, topK []int, targetProfiles []core.Profile, opts PathOptions) (map[int][]Path, error) {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = 4
 	}
@@ -170,6 +192,9 @@ func FindJoinPaths(g *Graph, topK []int, targetProfiles []core.Profile, opts Pat
 		var paths []Path
 		var dfs func(node int, path Path)
 		dfs = func(node int, path Path) {
+			if ctx.Err() != nil {
+				return
+			}
 			if len(paths) >= opts.MaxPathsPerStart || len(path) >= opts.MaxDepth {
 				return
 			}
@@ -187,9 +212,12 @@ func FindJoinPaths(g *Graph, topK []int, targetProfiles []core.Profile, opts Pat
 			}
 		}
 		dfs(start, Path{start})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[start] = paths
 	}
-	return out
+	return out, nil
 }
 
 func contains(p Path, tid int) bool {
@@ -243,6 +271,14 @@ type Augmented struct {
 // reuse) the SA-join graph, find join paths per top-k table, and
 // compute coverage with and without joins.
 func Augment(e *core.Engine, g *Graph, res *core.SearchResult, popts PathOptions) ([]Augmented, error) {
+	return AugmentCtx(context.Background(), e, g, res, popts)
+}
+
+// AugmentCtx is Augment with cooperative cancellation: ctx is honoured
+// through the path traversal and between the per-result coverage
+// computations, and a cancelled call returns ctx.Err() with no partial
+// augmentation.
+func AugmentCtx(ctx context.Context, e *core.Engine, g *Graph, res *core.SearchResult, popts PathOptions) ([]Augmented, error) {
 	if res == nil {
 		return nil, fmt.Errorf("joins: nil search result")
 	}
@@ -250,9 +286,15 @@ func Augment(e *core.Engine, g *Graph, res *core.SearchResult, popts PathOptions
 	for i, r := range res.Ranked {
 		topK[i] = r.TableID
 	}
-	pathsByStart := FindJoinPaths(g, topK, res.TargetProfiles, popts)
+	pathsByStart, err := FindJoinPathsCtx(ctx, g, topK, res.TargetProfiles, popts)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Augmented, len(res.Ranked))
 	for i, r := range res.Ranked {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		paths := pathsByStart[r.TableID]
 		out[i] = Augmented{
 			Result:       r,

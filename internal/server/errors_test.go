@@ -131,7 +131,7 @@ func TestServeOverloadedAnswers429(t *testing.T) {
 	srv, hs := newTestServer(t, figure1Engine(t), Config{MaxConcurrent: 1, AdmissionWait: -1})
 
 	release := make(chan struct{})
-	go srv.admit(context.Background(), func() ([]byte, error) {
+	go srv.admit(context.Background(), func(context.Context) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -162,7 +162,7 @@ func TestServeAdmissionWaitRidesOutBursts(t *testing.T) {
 	srv, hs := newTestServer(t, figure1Engine(t), Config{MaxConcurrent: 1, AdmissionWait: 5 * time.Second})
 
 	release := make(chan struct{})
-	go srv.admit(context.Background(), func() ([]byte, error) {
+	go srv.admit(context.Background(), func(context.Context) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -242,15 +242,19 @@ func TestServeConfigValidation(t *testing.T) {
 	}
 }
 
-// TestServeTimeoutStillCaches: a query that outlives its requester
-// finishes in the detached goroutine and lands in the cache, so the
-// next identical request is a hit instead of a full recompute.
+// TestServeTimeoutStillCaches: cancellation is cooperative, so a
+// computation that never observes its cancelled context (this one
+// blocks on a channel, not on ctx) still completes in the detached
+// goroutine and lands in the cache — the timed-out leader got its 503,
+// but the finished work is not thrown away, and the next identical
+// request is a hit instead of a full recompute. (Engine queries DO
+// observe ctx and exit early; see cancel_test.go for that side.)
 func TestServeTimeoutStillCaches(t *testing.T) {
 	srv, _ := newTestServer(t, figure1Engine(t), Config{RequestTimeout: 10 * time.Millisecond})
 	const key = "timeout-cache-key"
 	release := make(chan struct{})
 	rec := httptest.NewRecorder()
-	srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), key, func() ([]byte, error) {
+	srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), key, func(context.Context) ([]byte, error) {
 		<-release
 		return []byte(`{"slow":true}`), nil
 	})
@@ -272,7 +276,7 @@ func TestServeTimeoutStillCaches(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	rec2 := httptest.NewRecorder()
-	srv.cachedQuery(rec2, httptest.NewRequest("POST", "/v1/topk", nil), key, func() ([]byte, error) {
+	srv.cachedQuery(rec2, httptest.NewRequest("POST", "/v1/topk", nil), key, func(context.Context) ([]byte, error) {
 		t.Error("recomputed despite cached result")
 		return nil, nil
 	})
@@ -287,7 +291,7 @@ func TestServeTimeoutStillCaches(t *testing.T) {
 func TestServePanicFailsOneRequest(t *testing.T) {
 	srv, hs := newTestServer(t, figure1Engine(t), Config{})
 	rec := httptest.NewRecorder()
-	srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), "panic-key", func() ([]byte, error) {
+	srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), "panic-key", func(context.Context) ([]byte, error) {
 		panic("boom")
 	})
 	if rec.Code != http.StatusInternalServerError {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"net/http"
@@ -287,6 +288,102 @@ func TestGoldenJoins(t *testing.T) {
 			checkGolden(t, "joins_"+target.Name, direct, snapLoaded, httpBody)
 		})
 	}
+}
+
+// TestGoldenQueryDefaults pins the API-redesign acceptance criterion:
+// Query with default options byte-matches the committed TopK fixtures
+// across all three paths — direct-CSV, snapshot-load, and HTTP via the
+// new /v1/query endpoint — so the legacy wrappers are provably pure
+// sugar over the unified call.
+func TestGoldenQueryDefaults(t *testing.T) {
+	w := golden(t)
+	for _, target := range w.targets {
+		t.Run(target.Name, func(t *testing.T) {
+			tbl, err := target.toTable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := marshalQueryAsTopK(t, w.engineCSV, tbl)
+			snapLoaded := marshalQueryAsTopK(t, w.engineSnap, tbl)
+			k := goldenK
+			status, httpBody := postJSON(t, w.baseURL+"/v1/query", QueryRequest{Table: target, K: &k})
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, httpBody)
+			}
+			// The unified endpoint returns the richer QueryResponse;
+			// its results section must carry exactly the fixture bytes.
+			var q QueryResponse
+			if err := json.Unmarshal(httpBody, &q); err != nil {
+				t.Fatal(err)
+			}
+			reduced, err := json.Marshal(TopKResponse{Results: q.Results})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "topk_"+target.Name, direct, snapLoaded, reduced)
+		})
+	}
+}
+
+// marshalQueryAsTopK runs the unified Query with default options and
+// marshals its ranking through the legacy response shape.
+func marshalQueryAsTopK(t *testing.T, e *d3l.Engine, target *d3l.Table) []byte {
+	t.Helper()
+	ans, err := e.Query(context.Background(), target, d3l.WithK(goldenK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(TopKResponse{Results: toResultsJSON(ans.Results)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestGoldenQueryEndpoint pins the new endpoint's full wire shape
+// (results + deterministic stats) against its own committed fixtures,
+// across the same three paths.
+func TestGoldenQueryEndpoint(t *testing.T) {
+	w := golden(t)
+	for _, target := range w.targets {
+		t.Run(target.Name, func(t *testing.T) {
+			tbl, err := target.toTable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := marshalQueryResponse(t, w.engineCSV, tbl)
+			snapLoaded := marshalQueryResponse(t, w.engineSnap, tbl)
+			k := goldenK
+			status, httpBody := postJSON(t, w.baseURL+"/v1/query", QueryRequest{Table: target, K: &k})
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, httpBody)
+			}
+			checkGolden(t, "query_"+target.Name, direct, snapLoaded, httpBody)
+		})
+	}
+}
+
+// marshalQueryResponse mirrors handleQuery's marshaling for the
+// library paths.
+func marshalQueryResponse(t *testing.T, e *d3l.Engine, target *d3l.Table) []byte {
+	t.Helper()
+	ans, err := e.Query(context.Background(), target, d3l.WithK(goldenK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(QueryResponse{
+		Results:     toResultsJSON(ans.Results),
+		Explanation: toExplanationsJSON(ans.Explanation),
+		Stats: QueryStatsJSON{
+			K:              ans.Stats.K,
+			CandidatePairs: ans.Stats.CandidatePairs,
+			TablesScored:   ans.Stats.TablesScored,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
 }
 
 func marshalTopK(t *testing.T, e *d3l.Engine, target *d3l.Table) []byte {

@@ -67,6 +67,11 @@ func writeEngineError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errTimeout):
 		writeError(w, http.StatusServiceUnavailable, CodeTimeout,
 			"request exceeded the execution deadline")
+	case errors.Is(err, d3l.ErrInvalidOptions):
+		// Handlers pre-validate, so this is a belt-and-braces mapping:
+		// if the library ever rejects an option set the wire check let
+		// through, the client still sees a 400, not a 500.
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	case errors.Is(err, d3l.ErrTableNotFound):
 		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 	case errors.Is(err, d3l.ErrDuplicateTable):
@@ -88,16 +93,18 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // Concurrent identical misses are coalesced: the first request (the
 // leader) computes under the gate, the rest wait on its flight and
 // share the result — a thundering herd right after a cache purge
-// burns one gate slot, not one per client. The flight is settled by
-// the compute goroutine itself, so it outlives a leader whose client
-// disconnected or timed out: late arrivals keep coalescing onto the
-// still-running computation (each bounded by its own RequestTimeout)
-// instead of stacking duplicate computations in the gate, and the
-// finished body still lands in the cache. Only when the work never
-// started (overload, draining, pre-start cancel) does the leader
-// settle the flight with its error, so waiters share that rejection
+// burns one gate slot, not one per client. compute receives the
+// leader's work context (deadline plus client cancellation); when the
+// leader times out or disconnects, its computation is cancelled, the
+// gate slot frees, and the flight settles with the ctx error — any
+// coalesced waiter that is itself still live then retries the loop,
+// becomes the new leader, and recomputes under its own deadline.
+// Trading that recompute for the freed slot is deliberate: a slot held
+// by doomed work starves every key, not just this one. Flights that
+// never start (overload, draining, pre-start cancel) are settled by
+// the would-be leader with its error, so waiters share the rejection
 // instead of hanging.
-func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
 	for {
 		if body, ok := s.cache.get(key); ok {
 			s.stats.cacheHits.Add(1)
@@ -136,7 +143,7 @@ func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string,
 		s.flightMu.Unlock()
 
 		s.stats.cacheMisses.Add(1)
-		body, started, err := s.admit(r.Context(), func() (b []byte, e error) {
+		body, started, err := s.admit(r.Context(), func(ctx context.Context) (b []byte, e error) {
 			// Cache insert and flight settlement run in a defer so a
 			// panicking compute still settles its waiters (with the
 			// panic converted to an internal error) instead of
@@ -150,7 +157,7 @@ func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string,
 				}
 				f.resolve(s, key, b, e)
 			}()
-			return compute()
+			return compute(ctx)
 		})
 		if !started {
 			// The work will never run; settle the flight so waiters
@@ -181,12 +188,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, &req), func() ([]byte, error) {
-		results, err := eng.TopK(target, req.K)
+	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, d3l.WithK(req.K))
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(TopKResponse{Results: toResultsJSON(results)})
+		return json.Marshal(TopKResponse{Results: toResultsJSON(ans.Results)})
 	})
 }
 
@@ -205,12 +212,12 @@ func (s *Server) handleJoins(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, &req), func() ([]byte, error) {
-		augs, err := eng.TopKWithJoins(target, req.K)
+	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, d3l.WithK(req.K), d3l.WithJoins())
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(JoinsResponse{Results: toAugmentedJSON(augs)})
+		return json.Marshal(JoinsResponse{Results: toAugmentedJSON(ans.Joins)})
 	})
 }
 
@@ -238,14 +245,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		targets[i] = t
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, &req), func() ([]byte, error) {
-		answers, err := eng.BatchTopK(targets, req.K)
+	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
+		answers, err := eng.QueryBatch(ctx, targets, d3l.WithK(req.K))
 		if err != nil {
 			return nil, err
 		}
 		out := make([][]ResultJSON, len(answers))
-		for i, results := range answers {
-			out[i] = toResultsJSON(results)
+		for i, a := range answers {
+			out[i] = toResultsJSON(a.Results)
 		}
 		return json.Marshal(BatchResponse{Results: out})
 	})
@@ -266,13 +273,63 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, explainKey(eng.Fingerprint(), gen, &req), func() ([]byte, error) {
-		rows, err := eng.Explain(target, req.LakeTable)
+	s.cachedQuery(w, r, explainKey(eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor(req.LakeTable))
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(ExplainResponse{Rows: toExplanationsJSON(rows)})
+		return json.Marshal(ExplainResponse{Rows: toExplanationsJSON(ans.Explanation)})
 	})
+}
+
+// handleQuery is the unified query endpoint: the full per-query option
+// set of the library's Query call on the wire — k, join augmentation,
+// explanation, Eq. 3 weight overrides, evidence subsets and candidate
+// budgets — with responses cached under a canonical key that folds in
+// every option.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	plan, err := req.plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	target, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	gen, eng := s.cacheEpoch()
+	s.cachedQuery(w, r, queryKey(eng.Fingerprint(), gen, plan, &req.Table), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, plan.opts...)
+		if err != nil {
+			return nil, err
+		}
+		resp := QueryResponse{
+			Results:     toResultsJSON(ans.Results),
+			Explanation: toExplanationsJSON(ans.Explanation),
+			Stats: QueryStatsJSON{
+				K:              ans.Stats.K,
+				CandidatePairs: ans.Stats.CandidatePairs,
+				TablesScored:   ans.Stats.TablesScored,
+			},
+		}
+		if ans.Joins != nil {
+			resp.Joins = toAugmentedJSON(ans.Joins)
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// handleListTables answers the live table names. It reads under the
+// engine's query lock only (no admission slot, no cache): the listing
+// is cheap, and operators poll it to watch mutations land.
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	names := s.Engine().Tables()
+	writeJSON(w, http.StatusOK, TablesResponse{Tables: names, Count: len(names)})
 }
 
 func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +425,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Rejected:          s.stats.rejected.Load(),
 		Unavailable:       s.stats.unavailable.Load(),
 		Timeouts:          s.stats.timeouts.Load(),
+		Canceled:          s.stats.canceled.Load(),
 		Mutations:         s.stats.mutations.Load(),
 		Reloads:           s.stats.reloads.Load(),
 	})

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
+	"math"
 )
 
 // This file computes canonical query fingerprints — the result-cache
@@ -54,6 +55,14 @@ func (w *keyWriter) str(s string) {
 	w.h.Write([]byte(s))
 }
 
+func (w *keyWriter) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
 func (w *keyWriter) table(t *TableJSON) {
 	w.str(t.Name)
 	w.u64(uint64(len(t.Columns)))
@@ -99,5 +108,29 @@ func explainKey(engineFP, swapGen uint64, req *ExplainRequest) string {
 	w := newKeyWriter("explain", engineFP, swapGen)
 	w.str(req.LakeTable)
 	w.table(&req.Table)
+	return w.sum()
+}
+
+// queryKey keys /v1/query responses. It folds in every per-query
+// option from the canonicalised plan, so two requests differing in any
+// result-relevant knob — k, joins, explanation target, weights,
+// evidence subset, candidate budget — can never share a body, while
+// spelled-differently-but-equal requests (absent vs explicit default
+// k, reordered evidence lists) do. Weights are hashed as IEEE 754
+// bits: exact equality is the right notion for a cache key.
+func queryKey(engineFP, swapGen uint64, p *queryPlan, t *TableJSON) string {
+	w := newKeyWriter("query", engineFP, swapGen)
+	w.u64(uint64(p.k))
+	w.bool(p.joins)
+	w.str(p.explainFor)
+	w.bool(p.weightsSet)
+	if p.weightsSet {
+		for _, f := range p.weights {
+			w.u64(math.Float64bits(f))
+		}
+	}
+	w.u64(p.evidenceMask)
+	w.u64(uint64(p.budget))
+	w.table(t)
 	return w.sum()
 }

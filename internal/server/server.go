@@ -4,15 +4,20 @@
 // heavily-trafficked process needs and the library deliberately does
 // not provide:
 //
-//   - a JSON API (/v1/topk, /v1/batch, /v1/joins, /v1/explain,
-//     /v1/tables for incremental maintenance, /v1/healthz, /v1/statsz,
-//     /v1/reload);
+//   - a JSON API (/v1/query with the full per-query option set, the
+//     legacy /v1/topk, /v1/batch, /v1/joins, /v1/explain, /v1/tables
+//     for listing and incremental maintenance, /v1/healthz,
+//     /v1/statsz, /v1/reload);
 //   - an LRU result cache keyed by a canonical query fingerprint that
 //     embeds the engine fingerprint, so mutations invalidate by
 //     construction;
-//   - a bounded-concurrency admission gate with per-request timeouts —
-//     overload answers 429 and deadlines answer 503 instead of
-//     queueing unboundedly;
+//   - a bounded-concurrency admission gate with true deadline
+//     enforcement — overload answers 429; a request that exceeds its
+//     deadline or whose client disconnects answers 503 AND has its
+//     computation cancelled through the engine's cooperative
+//     context plumbing, so the worker exits and the admission slot
+//     frees immediately instead of carrying doomed work to
+//     completion;
 //   - graceful shutdown that drains in-flight queries while rejecting
 //     new ones with 503;
 //   - hot snapshot reload (endpoint- or SIGHUP-triggered via the CLI)
@@ -98,6 +103,7 @@ type stats struct {
 	rejected    atomic.Int64
 	unavailable atomic.Int64
 	timeouts    atomic.Int64
+	canceled    atomic.Int64
 	mutations   atomic.Int64
 	reloads     atomic.Int64
 }
@@ -206,6 +212,8 @@ func New(engine *d3l.Engine, cfg Config) (*Server, error) {
 }
 
 func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/tables", s.handleListTables)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/joins", s.handleJoins)
@@ -355,31 +363,36 @@ var (
 // started, and an error: errOverloaded (no slot within
 // AdmissionWait), errUnavailable (draining), errTimeout (deadline
 // passed while fn ran), or the request context's error. started=false
-// guarantees fn never ran and never will; started=true with an error
-// means fn is still running detached.
+// guarantees fn never ran and never will.
 //
-// On timeout, fn keeps running in its goroutine — queries are
-// CPU-bound library calls with no cancellation points — but it keeps
-// its gate slot until it finishes, so abandoned work still counts
-// against MaxConcurrent and overload degrades into 429s instead of
-// unbounded pile-up.
-func (s *Server) admit(ctx context.Context, fn func() ([]byte, error)) (body []byte, started bool, err error) {
+// fn receives a context that expires at the request deadline and is
+// cancelled when the client disconnects. The engine's query pipeline
+// checks it cooperatively between candidate batches, so a timed-out
+// or abandoned request's worker exits within microseconds, returns
+// its ctx error, and — crucially — frees its admission slot
+// immediately. Under deadline pressure the gate therefore keeps
+// admitting live work instead of filling up with doomed computations
+// (the pre-cancellation design held each slot until the abandoned
+// work ran to completion, a real throughput hole).
+func (s *Server) admit(ctx context.Context, fn func(context.Context) ([]byte, error)) (body []byte, started bool, err error) {
 	return s.admitWork(ctx, fn, true)
 }
 
-// admitMutation is admit without abandonment: once the mutation
-// starts, the handler waits for it to finish however long it takes,
-// so the response always reflects the true final state. A 503 or 429
-// from this path guarantees nothing ran — a timeout-shaped "failure"
-// that actually committed (inviting a retry into a spurious 409)
-// cannot happen. The work is bounded by the mutation itself, and the
-// shutdown drain waits for it like any other registered work.
+// admitMutation is admit without abandonment or cancellation: once the
+// mutation starts, the handler waits for it to finish however long it
+// takes, so the response always reflects the true final state. A 503
+// or 429 from this path guarantees nothing ran — a timeout-shaped
+// "failure" that actually committed (inviting a retry into a spurious
+// 409) cannot happen; by the same token a mutation must never be
+// cancelled mid-commit, so its work runs on an uncancellable context.
+// The work is bounded by the mutation itself, and the shutdown drain
+// waits for it like any other registered work.
 func (s *Server) admitMutation(ctx context.Context, fn func() ([]byte, error)) ([]byte, error) {
-	body, _, err := s.admitWork(ctx, fn, false)
+	body, _, err := s.admitWork(ctx, func(context.Context) ([]byte, error) { return fn() }, false)
 	return body, err
 }
 
-func (s *Server) admitWork(ctx context.Context, fn func() ([]byte, error), abandonable bool) ([]byte, bool, error) {
+func (s *Server) admitWork(ctx context.Context, fn func(context.Context) ([]byte, error), abandonable bool) ([]byte, bool, error) {
 	if s.draining.Load() {
 		s.stats.unavailable.Add(1)
 		return nil, false, errUnavailable
@@ -412,6 +425,16 @@ func (s *Server) admitWork(ctx context.Context, fn func() ([]byte, error), aband
 		return nil, false, errUnavailable
 	}
 
+	// The work context: for queries it carries the execution deadline
+	// and the client's own cancellation; for mutations it is
+	// uncancellable (values flow through, cancellation does not), so
+	// an acknowledged Add/Remove can never be torn mid-commit.
+	workCtx := context.WithoutCancel(ctx)
+	cancel := context.CancelFunc(func() {})
+	if abandonable {
+		workCtx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+
 	type outcome struct {
 		body []byte
 		err  error
@@ -420,6 +443,7 @@ func (s *Server) admitWork(ctx context.Context, fn func() ([]byte, error), aband
 	s.stats.inFlight.Add(1)
 	go func() {
 		defer func() {
+			cancel()
 			<-s.gate
 			s.stats.inFlight.Add(-1)
 			s.inflight.Done()
@@ -433,7 +457,7 @@ func (s *Server) admitWork(ctx context.Context, fn func() ([]byte, error), aband
 				done <- outcome{nil, fmt.Errorf("server: panic in request worker: %v", p)}
 			}
 		}()
-		body, err := fn()
+		body, err := fn(workCtx)
 		done <- outcome{body, err}
 	}()
 
@@ -441,15 +465,38 @@ func (s *Server) admitWork(ctx context.Context, fn func() ([]byte, error), aband
 		out := <-done
 		return out.body, true, out.err
 	}
-	deadline := time.NewTimer(s.cfg.RequestTimeout)
-	defer deadline.Stop()
 	select {
 	case out := <-done:
 		return out.body, true, out.err
-	case <-deadline.C:
+	case <-workCtx.Done():
+		// The worker's defer cancels workCtx after delivering its
+		// outcome, so for a fast computation both channels can be
+		// ready when this select runs and Go picks at random: a
+		// finished request must never be misreported as a timeout.
+		// Draining done here resolves the race in favour of the real
+		// outcome (and resolves a completion that genuinely ties with
+		// the deadline the same way). A drained outcome that is
+		// itself a context error is the worker's cooperative
+		// cancellation exit, not a result — classify it below like
+		// any other expiry.
+		select {
+		case out := <-done:
+			if !errors.Is(out.err, context.Canceled) && !errors.Is(out.err, context.DeadlineExceeded) {
+				return out.body, true, out.err
+			}
+		default:
+		}
+		// The deadline passed or the client went away. workCtx is
+		// already cancelled, so the worker observes it at its next
+		// cooperative checkpoint, exits, and releases the gate slot —
+		// the response does not wait for that. Distinguish the two
+		// causes for the status code: a parent-context error is the
+		// client's doing, everything else is the deadline.
+		if err := ctx.Err(); err != nil {
+			s.stats.canceled.Add(1)
+			return nil, true, err
+		}
 		s.stats.timeouts.Add(1)
 		return nil, true, errTimeout
-	case <-ctx.Done():
-		return nil, true, ctx.Err()
 	}
 }

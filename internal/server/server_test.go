@@ -477,7 +477,7 @@ func TestServeCoalescesIdenticalMisses(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		srv.cachedQuery(leaderRec, httptest.NewRequest("POST", "/v1/topk", nil), key, func() ([]byte, error) {
+		srv.cachedQuery(leaderRec, httptest.NewRequest("POST", "/v1/topk", nil), key, func(context.Context) ([]byte, error) {
 			close(started)
 			<-release
 			return []byte(`{"leader":true}`), nil
@@ -493,7 +493,7 @@ func TestServeCoalescesIdenticalMisses(t *testing.T) {
 		wg.Add(1)
 		go func(rec *httptest.ResponseRecorder) {
 			defer wg.Done()
-			srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), key, func() ([]byte, error) {
+			srv.cachedQuery(rec, httptest.NewRequest("POST", "/v1/topk", nil), key, func(context.Context) ([]byte, error) {
 				t.Error("waiter ran compute instead of coalescing")
 				return nil, nil
 			})
@@ -621,7 +621,7 @@ func TestServeShutdownDrainsInFlight(t *testing.T) {
 	release := make(chan struct{})
 	admitted := make(chan error, 1)
 	go func() {
-		_, _, err := srv.admit(t.Context(), func() ([]byte, error) {
+		_, _, err := srv.admit(t.Context(), func(context.Context) ([]byte, error) {
 			<-release
 			return []byte("{}"), nil
 		})

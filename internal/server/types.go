@@ -120,6 +120,144 @@ func toExplanationsJSON(rows []d3l.PairExplanation) []ExplanationJSON {
 	return out
 }
 
+// QueryRequest is the unified query endpoint's body: the full
+// per-query option set of the library's Query call on the wire.
+type QueryRequest struct {
+	Table TableJSON `json:"table"`
+	// K is the answer size: absent selects the default (10); 0 is an
+	// explanation-only query (requires explainFor); negative is a 400.
+	K *int `json:"k,omitempty"`
+	// Joins requests D3L+J augmentation in the response's joins field.
+	Joins bool `json:"joins,omitempty"`
+	// ExplainFor names a lake table to explain against in the
+	// response's explanation field.
+	ExplainFor string `json:"explainFor,omitempty"`
+	// Weights override the engine's Eq. 3 evidence weights: exactly
+	// five non-negative numbers (N, V, F, E, D order), not all zero.
+	// A slice, not the fixed-size d3l.Weights array, so a wrong-length
+	// request is a 400 instead of encoding/json silently zero-filling
+	// or truncating it into a different query.
+	Weights []float64 `json:"weights,omitempty"`
+	// Evidence restricts the query to the named evidence types — any
+	// of "name", "value", "format", "embedding", "domain". Absent
+	// means all five.
+	Evidence []string `json:"evidence,omitempty"`
+	// CandidateBudget caps candidates per target attribute per index;
+	// 0 or absent keeps the engine default.
+	CandidateBudget int `json:"candidateBudget,omitempty"`
+}
+
+// queryPlan is a validated, canonicalised QueryRequest: the option
+// list to hand the engine plus the normalised values the cache key
+// folds in. Canonicalisation makes requests that mean the same thing
+// share a key — an absent k and an explicit 10, or evidence lists in
+// different orders.
+type queryPlan struct {
+	opts         []d3l.QueryOption
+	k            int
+	joins        bool
+	explainFor   string
+	weightsSet   bool
+	weights      d3l.Weights
+	evidenceMask uint64 // bit t set = evidence type t enabled
+	budget       int
+}
+
+// plan validates the request and resolves it to a queryPlan. All
+// option errors surface here, before any admission slot is taken, so
+// a malformed request is a cheap 400.
+func (r *QueryRequest) plan() (*queryPlan, error) {
+	p := &queryPlan{
+		k:          d3l.DefaultK,
+		joins:      r.Joins,
+		explainFor: r.ExplainFor,
+		budget:     r.CandidateBudget,
+	}
+	if r.K != nil {
+		if *r.K < 0 {
+			return nil, fmt.Errorf("k must be non-negative, got %d", *r.K)
+		}
+		p.k = *r.K
+		p.opts = append(p.opts, d3l.WithK(*r.K))
+	}
+	if p.k == 0 {
+		if p.explainFor == "" {
+			return nil, fmt.Errorf("k 0 asks for nothing; combine it with explainFor")
+		}
+		if p.joins {
+			return nil, fmt.Errorf("joins require a ranking; use k > 0")
+		}
+	}
+	if p.joins {
+		p.opts = append(p.opts, d3l.WithJoins())
+	}
+	if p.explainFor != "" {
+		p.opts = append(p.opts, d3l.WithExplainFor(p.explainFor))
+	}
+	if r.Weights != nil {
+		if len(r.Weights) != int(d3l.NumEvidence) {
+			return nil, fmt.Errorf("weights must have exactly %d entries (name, value, format, embedding, domain), got %d",
+				int(d3l.NumEvidence), len(r.Weights))
+		}
+		var w d3l.Weights
+		copy(w[:], r.Weights)
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		p.weightsSet = true
+		p.weights = w
+		p.opts = append(p.opts, d3l.WithWeights(w))
+	}
+	p.evidenceMask = (1 << uint(d3l.NumEvidence)) - 1
+	if len(r.Evidence) > 0 {
+		var types []d3l.Evidence
+		var mask uint64
+		for _, name := range r.Evidence {
+			t, err := d3l.ParseEvidence(name)
+			if err != nil {
+				return nil, fmt.Errorf("unknown evidence type %q (want name, value, format, embedding or domain)", name)
+			}
+			if mask&(1<<uint(t)) == 0 {
+				types = append(types, t)
+			}
+			mask |= 1 << uint(t)
+		}
+		p.evidenceMask = mask
+		p.opts = append(p.opts, d3l.WithEvidence(types...))
+	}
+	if r.CandidateBudget < 0 {
+		return nil, fmt.Errorf("candidateBudget must be non-negative, got %d", r.CandidateBudget)
+	}
+	if r.CandidateBudget > 0 {
+		p.opts = append(p.opts, d3l.WithCandidateBudget(r.CandidateBudget))
+	}
+	return p, nil
+}
+
+// QueryStatsJSON carries the deterministic per-query work counters —
+// identical at any parallelism, hence safe to cache and replay
+// (wall-clock latency deliberately stays off the wire).
+type QueryStatsJSON struct {
+	K              int `json:"k"`
+	CandidatePairs int `json:"candidatePairs"`
+	TablesScored   int `json:"tablesScored"`
+}
+
+// QueryResponse is the unified endpoint's answer; sections the request
+// did not ask for are omitted.
+type QueryResponse struct {
+	Results     []ResultJSON      `json:"results,omitempty"`
+	Joins       []AugmentedJSON   `json:"joins,omitempty"`
+	Explanation []ExplanationJSON `json:"explanation,omitempty"`
+	Stats       QueryStatsJSON    `json:"stats"`
+}
+
+// TablesResponse lists the live table names (GET /v1/tables).
+type TablesResponse struct {
+	Tables []string `json:"tables"`
+	Count  int      `json:"count"`
+}
+
 // TopKRequest asks for the k most related lake tables of one target.
 type TopKRequest struct {
 	Table TableJSON `json:"table"`
@@ -198,7 +336,8 @@ type StatsResponse struct {
 	CacheEntries      int    `json:"cacheEntries"`
 	Rejected          int64  `json:"rejected"`    // 429: admission gate full
 	Unavailable       int64  `json:"unavailable"` // 503: draining
-	Timeouts          int64  `json:"timeouts"`    // 503: per-request deadline
+	Timeouts          int64  `json:"timeouts"`    // 503: per-request deadline (work cancelled)
+	Canceled          int64  `json:"canceled"`    // client disconnected mid-computation (work cancelled)
 	Mutations         int64  `json:"mutations"`
 	Reloads           int64  `json:"reloads"`
 }

@@ -1,0 +1,275 @@
+package d3l_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"d3l"
+)
+
+func figure1Engine(t testing.TB) *d3l.Engine {
+	t.Helper()
+	engine, err := d3l.New(figure1Lake(t), d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// TestWrappersEqualQueryDefaults pins the migration contract: every
+// legacy entry point is byte-for-byte Query with the corresponding
+// default options (compared through JSON marshaling, the same
+// serialisation the golden fixtures and the HTTP layer use).
+func TestWrappersEqualQueryDefaults(t *testing.T) {
+	engine := figure1Engine(t)
+	target := figure1Target(t)
+	ctx := context.Background()
+
+	asJSON := func(v any) string {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	topk, err := engine.TopK(target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := engine.Query(ctx, target, d3l.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(topk) != asJSON(ans.Results) {
+		t.Fatal("TopK diverged from Query(WithK)")
+	}
+
+	joins, err := engine.TopKWithJoins(target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansJ, err := engine.Query(ctx, target, d3l.WithK(2), d3l.WithJoins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(joins) != asJSON(ansJ.Joins) {
+		t.Fatal("TopKWithJoins diverged from Query(WithJoins)")
+	}
+
+	expl, err := engine.Explain(target, "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansE, err := engine.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor("S2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(expl) != asJSON(ansE.Explanation) {
+		t.Fatal("Explain diverged from explanation-only Query")
+	}
+	if ansE.Results != nil {
+		t.Fatal("explanation-only query ran a ranking")
+	}
+
+	targets := []*d3l.Table{target, figure1Target(t)}
+	batch, err := engine.BatchTopK(targets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := engine.QueryBatch(ctx, targets, d3l.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(batch) {
+		t.Fatalf("QueryBatch answered %d, want %d", len(answers), len(batch))
+	}
+	for i := range batch {
+		if asJSON(batch[i]) != asJSON(answers[i].Results) {
+			t.Fatalf("BatchTopK[%d] diverged from QueryBatch", i)
+		}
+	}
+}
+
+// TestQueryCombinedSections: one call returns ranking, joins and
+// explanation together, each identical to its standalone form.
+func TestQueryCombinedSections(t *testing.T) {
+	engine := figure1Engine(t)
+	target := figure1Target(t)
+	ans, err := engine.Query(context.Background(), target,
+		d3l.WithK(2), d3l.WithJoins(), d3l.WithExplainFor("S2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 || len(ans.Joins) == 0 || len(ans.Explanation) == 0 {
+		t.Fatalf("missing sections: results=%d joins=%d explanation=%d",
+			len(ans.Results), len(ans.Joins), len(ans.Explanation))
+	}
+	wantExpl, err := engine.Explain(target, "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Explanation, wantExpl) {
+		t.Fatal("combined-query explanation diverged from standalone Explain")
+	}
+	if ans.Stats.K != 2 || ans.Stats.CandidatePairs == 0 || ans.Stats.TablesScored == 0 {
+		t.Fatalf("stats not populated: %+v", ans.Stats)
+	}
+	if ans.Stats.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", ans.Stats.Elapsed)
+	}
+}
+
+func TestQueryCancelled(t *testing.T) {
+	engine := figure1Engine(t)
+	target := figure1Target(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.Query(ctx, target); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Query err = %v, want context.Canceled", err)
+	}
+	if _, err := engine.Query(ctx, target, d3l.WithJoins()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("joins Query err = %v, want context.Canceled", err)
+	}
+	if _, err := engine.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor("S2")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("explain Query err = %v, want context.Canceled", err)
+	}
+	if _, err := engine.QueryBatch(ctx, []*d3l.Table{target}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatch err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryOptionValidation(t *testing.T) {
+	engine := figure1Engine(t)
+	target := figure1Target(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []d3l.QueryOption
+	}{
+		{"negative k", []d3l.QueryOption{d3l.WithK(-1)}},
+		{"k 0 without explain", []d3l.QueryOption{d3l.WithK(0)}},
+		{"k 0 with joins", []d3l.QueryOption{d3l.WithK(0), d3l.WithExplainFor("S2"), d3l.WithJoins()}},
+		{"empty evidence", []d3l.QueryOption{d3l.WithEvidence()}},
+		{"bad evidence", []d3l.QueryOption{d3l.WithEvidence(d3l.Evidence(99))}},
+		{"bad weights", []d3l.QueryOption{d3l.WithWeights(d3l.Weights{-1, 0, 0, 0, 0})}},
+		{"negative budget", []d3l.QueryOption{d3l.WithCandidateBudget(-1)}},
+		{"empty explain name", []d3l.QueryOption{d3l.WithExplainFor("")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := engine.Query(ctx, target, tc.opts...)
+			if err == nil {
+				t.Fatal("invalid options accepted")
+			}
+			if !errors.Is(err, d3l.ErrInvalidOptions) {
+				t.Fatalf("err = %v, want ErrInvalidOptions so servers can answer 400", err)
+			}
+		})
+	}
+	if _, err := engine.Query(ctx, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	// An unknown explanation target is a typed miss, failed before any
+	// ranking work (even when a ranking was requested alongside).
+	if _, err := engine.Query(ctx, target, d3l.WithK(3), d3l.WithExplainFor("no_such_table")); !errors.Is(err, d3l.ErrTableNotFound) {
+		t.Fatalf("err = %v, want ErrTableNotFound", err)
+	}
+}
+
+// TestQueryEvidenceSubset: a name+value-only query answers from the
+// same index with the other evidence types neutralised — the new
+// workload per-query evidence subsets open.
+func TestQueryEvidenceSubset(t *testing.T) {
+	engine := figure1Engine(t)
+	ans, err := engine.Query(context.Background(), figure1Target(t),
+		d3l.WithK(3), d3l.WithEvidence(d3l.EvidenceName, d3l.EvidenceValue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("name+value query found nothing")
+	}
+	for _, r := range ans.Results {
+		for _, ev := range []d3l.Evidence{d3l.EvidenceFormat, d3l.EvidenceEmbedding, d3l.EvidenceDomain} {
+			if r.Vector[ev] != 1 {
+				t.Fatalf("%s: excluded evidence %v contributed distance %v", r.Name, ev, r.Vector[ev])
+			}
+		}
+	}
+}
+
+func TestParseEvidence(t *testing.T) {
+	for name, want := range map[string]d3l.Evidence{
+		"name": d3l.EvidenceName, "Value": d3l.EvidenceValue, "FORMAT": d3l.EvidenceFormat,
+		"e": d3l.EvidenceEmbedding, " domain ": d3l.EvidenceDomain, "N": d3l.EvidenceName,
+	} {
+		got, err := d3l.ParseEvidence(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseEvidence(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := d3l.ParseEvidence("nonsense"); err == nil {
+		t.Fatal("bad evidence name accepted")
+	}
+}
+
+// TestTablesAndTableNameUnderChurn: the lock-safe listing (and the
+// formerly racy TableName) stay coherent while Add/Remove churn runs —
+// meaningful under -race, where the pre-fix TableName reliably
+// reported.
+func TestTablesAndTableNameUnderChurn(t *testing.T) {
+	engine := figure1Engine(t)
+	names := engine.Tables()
+	if len(names) != 3 || names[0] != "S1" || names[1] != "S2" || names[2] != "S3" {
+		t.Fatalf("Tables() = %v, want [S1 S2 S3]", names)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			extra := mustTable(t, "churn", []string{"Practice", "City"},
+				[][]string{{"Blackfriars", "Salford"}})
+			if _, err := engine.Add(extra); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := engine.Remove("churn"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		if name, err := engine.TableName(0); err != nil || name != "S1" {
+			t.Fatalf("TableName(0) = %q, %v", name, err)
+		}
+		for _, n := range engine.Tables() {
+			if n != "S1" && n != "S2" && n != "S3" && n != "churn" {
+				t.Fatalf("unexpected table %q", n)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := engine.Remove("S3"); err != nil {
+		t.Fatal(err)
+	}
+	names = engine.Tables()
+	if len(names) != 2 || names[0] != "S1" || names[1] != "S2" {
+		t.Fatalf("Tables() after Remove = %v, want [S1 S2]", names)
+	}
+}

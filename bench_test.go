@@ -390,6 +390,25 @@ func BenchmarkQueryVsTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchAllocs is the allocation-accounting view of the
+// query hot path: the same steady-state workload as the TopK
+// benchmarks with -benchmem semantics always on, so the B/op and
+// allocs/op columns land in every bench run and CI's benchstat gate
+// catches allocation regressions, not just time ones. The remaining
+// per-query allocations are dominated by target profiling; the
+// candidate-generation-through-ranking pipeline itself runs on pooled
+// arenas and is pinned near zero by core's TestQueryAllocationBudget.
+func BenchmarkSearchAllocs(b *testing.B) {
+	engine, targets := benchServingSetup(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopK(targets[i%len(targets)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParallelSearch measures one query with its internal
 // column/table fan-out at Parallelism = NumCPU (the latency, rather
 // than throughput, side of the concurrency work).

@@ -13,9 +13,13 @@
 //	                [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
 //	d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
 //	d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
-//	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080]
+//	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-pprof 127.0.0.1:6060]
 //	d3l stats       -dir DIR
 //	d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
+//
+// query and exp accept -cpuprofile FILE / -memprofile FILE to capture
+// pprof profiles of a run; serve mounts the live net/http/pprof
+// endpoints on a separate loopback listener via -pprof.
 //
 // The build-once/serve-many flow: `d3l index build` profiles and
 // indexes a CSV directory and snapshots the engine to disk; `d3l query
@@ -34,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -89,9 +95,10 @@ func usage() {
                   [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
   d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
-  d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D]
+  d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-pprof ADDR]
   d3l stats       -dir DIR
-  d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]`)
+  d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
+  (query and exp also take -cpuprofile FILE and -memprofile FILE)`)
 }
 
 func cmdGenerate(args []string) error {
@@ -291,6 +298,40 @@ func queryContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
+// withProfiles runs fn under the optional -cpuprofile/-memprofile
+// instrumentation: the CPU profile covers fn end to end, and the heap
+// profile is written after fn returns (post-GC, so it shows live
+// retention, not transient garbage). Empty paths disable the
+// corresponding profile.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // parseEvidenceList resolves a comma-separated -evidence flag into
 // query options (empty means all five evidence types).
 func parseEvidenceList(list string) ([]d3l.QueryOption, error) {
@@ -318,31 +359,39 @@ func cmdQuery(args []string) error {
 	budget := fs.Int("budget", 0, "candidate budget per target attribute per index (0 = derived from k)")
 	evidence := fs.String("evidence", "", "comma-separated evidence subset: name,value,format,embedding,domain (empty = all)")
 	explainFor := fs.String("explain", "", "also print the Table I-style breakdown against this lake table")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *targetPath == "" {
 		return fmt.Errorf("query: -target is required")
 	}
-	engine, err := loadEngine(*dir, *index)
+	return withProfiles(*cpuprofile, *memprofile, func() error {
+		return runQuery(*dir, *index, *targetPath, *k, *withJoins, *budget, *evidence, *explainFor)
+	})
+}
+
+func runQuery(dir, index, targetPath string, k int, withJoins bool, budget int, evidence, explainFor string) error {
+	engine, err := loadEngine(dir, index)
 	if err != nil {
 		return err
 	}
-	target, err := d3l.ReadCSVFile(*targetPath)
+	target, err := d3l.ReadCSVFile(targetPath)
 	if err != nil {
 		return err
 	}
-	opts := []d3l.QueryOption{d3l.WithK(*k)}
-	if *withJoins {
+	opts := []d3l.QueryOption{d3l.WithK(k)}
+	if withJoins {
 		opts = append(opts, d3l.WithJoins())
 	}
-	if *budget > 0 {
-		opts = append(opts, d3l.WithCandidateBudget(*budget))
+	if budget > 0 {
+		opts = append(opts, d3l.WithCandidateBudget(budget))
 	}
-	if *explainFor != "" {
-		opts = append(opts, d3l.WithExplainFor(*explainFor))
+	if explainFor != "" {
+		opts = append(opts, d3l.WithExplainFor(explainFor))
 	}
-	evOpts, err := parseEvidenceList(*evidence)
+	evOpts, err := parseEvidenceList(evidence)
 	if err != nil {
 		return err
 	}
@@ -354,7 +403,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *withJoins {
+	if withJoins {
 		fmt.Printf("%-24s %-9s %-9s %-9s %s\n", "table", "distance", "coverage", "cov+J", "paths")
 		for _, a := range ans.Joins {
 			fmt.Printf("%-24s %-9.3f %-9.2f %-9.2f %d\n",
@@ -366,8 +415,8 @@ func cmdQuery(args []string) error {
 			fmt.Printf("%-24s %-9.3f %d/%d\n", r.Name, r.Distance, len(r.Alignments), target.Arity())
 		}
 	}
-	if *explainFor != "" {
-		fmt.Printf("\nTable I breakdown vs %s:\n%s", *explainFor, d3l.FormatExplanation(ans.Explanation))
+	if explainFor != "" {
+		fmt.Printf("\nTable I breakdown vs %s:\n%s", explainFor, d3l.FormatExplanation(ans.Explanation))
 	}
 	fmt.Printf("scored %d tables from %d candidate pairs in %v\n",
 		ans.Stats.TablesScored, ans.Stats.CandidatePairs, ans.Stats.Elapsed.Round(time.Microsecond))
@@ -505,22 +554,30 @@ func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
 	id := fs.String("id", "all", "experiment id")
 	scaleName := fs.String("scale", "small", "small or paper")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	return withProfiles(*cpuprofile, *memprofile, func() error {
+		return runExp(*id, *scaleName)
+	})
+}
+
+func runExp(id, scaleName string) error {
 	var scale experiments.Scale
-	switch *scaleName {
+	switch scaleName {
 	case "small":
 		scale = experiments.SmallScale()
 	case "paper":
 		scale = experiments.PaperScale()
 	default:
-		return fmt.Errorf("exp: unknown scale %q", *scaleName)
+		return fmt.Errorf("exp: unknown scale %q", scaleName)
 	}
-	if *id == "all" {
+	if id == "all" {
 		return experiments.RunAll(os.Stdout, scale)
 	}
-	if *id == "ablations" {
+	if id == "ablations" {
 		env, err := experiments.NewRealEnv(scale)
 		if err != nil {
 			return err
@@ -534,7 +591,7 @@ func cmdExp(args []string) error {
 		}
 		return nil
 	}
-	rep, err := runOne(*id, scale)
+	rep, err := runOne(id, scale)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +40,7 @@ func cmdServe(args []string) error {
 	cacheEntries := fs.Int("cache", 0, "result cache capacity in entries (0 = 1024, negative disables)")
 	maxBody := fs.Int64("max-body", 0, "request body size limit in bytes before 413 (0 = 32MiB)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +77,31 @@ func cmdServe(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Profiling endpoints never share the public listener: they expose
+	// process internals (heap contents, goroutine stacks) and must not
+	// be reachable from query traffic. -pprof mounts them on their own
+	// loopback-only listener instead.
+	if *pprofAddr != "" {
+		ln, err := listenPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ps.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "d3l serve: pprof:", err)
+			}
+		}()
+		defer ps.Close()
+		fmt.Fprintf(os.Stderr, "d3l serve: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	hup := make(chan os.Signal, 1)
@@ -113,4 +141,24 @@ func cmdServe(args []string) error {
 		}
 		return srv.Shutdown(ctx)
 	}
+}
+
+// listenPprof binds the pprof listener, refusing non-loopback hosts:
+// the debug surface is for an operator on the box (or an SSH tunnel),
+// never for the network the query listener faces. The host must be a
+// literal loopback IP or exactly "localhost" — parsed, not
+// prefix-matched, so a resolvable hostname can never smuggle the
+// listener onto a routable address.
+func listenPprof(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: -pprof %q: %w", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("serve: -pprof must bind a loopback address, got %q", addr)
+		}
+	}
+	return net.Listen("tcp", addr)
 }

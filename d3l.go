@@ -331,6 +331,14 @@ func (e *Engine) SetParallelism(n int) error {
 	return e.core.SetParallelism(n)
 }
 
+// PrewarmScratch pre-populates the engine's pooled query arenas for n
+// concurrent queries, so a serving process reaches its steady-state
+// (near-)zero-allocation query path before the first burst of traffic
+// instead of growing arenas under it. Serving layers call it with
+// their admission capacity; it is optional — the pools fill themselves
+// after a few queries either way.
+func (e *Engine) PrewarmScratch(n int) { e.core.PrewarmScratch(n) }
+
 // Fingerprint returns a cheap 64-bit fingerprint of this engine's
 // state: stable across queries, changed by every Add, Remove and
 // Compact. Within the lifetime of one engine value, a cache keyed by

@@ -82,7 +82,10 @@ func (e *Engine) domainDistance(target, cand, targetSubject, candSubject *Profil
 	if !guard {
 		return 1
 	}
-	ks, err := stats.KolmogorovSmirnov(target.NumExtent, cand.NumExtent)
+	// Extents hold the Profile.NumExtent sorted invariant, so the KS
+	// statistic needs no per-pair copy-and-sort — this runs once per
+	// guarded numeric candidate pair on the query hot path.
+	ks, err := stats.KolmogorovSmirnovSorted(target.NumExtent, cand.NumExtent)
 	if err != nil {
 		return 1
 	}

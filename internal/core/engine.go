@@ -40,6 +40,12 @@ type Engine struct {
 	fpBase  uint64
 	version atomic.Uint64
 
+	// queryScratchPool and workerScratchPool recycle the query-side
+	// arenas (see scratch.go); the zero Pool is ready, so neither
+	// BuildEngine nor the snapshot decoder initialises them.
+	queryScratchPool  sync.Pool // *queryScratch
+	workerScratchPool sync.Pool // *workerScratch
+
 	forestN *lsh.Forest
 	forestV *lsh.Forest
 	forestF *lsh.Forest

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"d3l/internal/lsh"
 	"d3l/internal/minhash"
@@ -337,5 +338,12 @@ func decodeProfile(r *persist.Reader, p *Profile) error {
 	p.ESig = lsh.BitSignature(r.U64s())
 	p.EZero = r.Bool()
 	p.NumExtent = r.F64s()
+	// Re-establish the Profile.NumExtent sorted-ascending invariant:
+	// snapshots written before the invariant existed carry extents in
+	// lake order, and the allocation-free KS path depends on it. For
+	// current snapshots (already sorted) this is a linear no-op scan.
+	if !sort.Float64sAreSorted(p.NumExtent) {
+		sort.Float64s(p.NumExtent)
+	}
 	return r.Err()
 }

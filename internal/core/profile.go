@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"d3l/internal/embed"
 	"d3l/internal/format"
 	"d3l/internal/lsh"
@@ -36,6 +38,10 @@ type Profile struct {
 	EZero bool
 
 	// NumExtent is the parsed numeric extent for Numeric attributes.
+	// Invariant: sorted ascending. The KS statistic is the only
+	// consumer and needs sorted samples anyway, so sorting once here
+	// (and once after snapshot decode) makes every guarded domain
+	// distance on the query hot path allocation-free.
 	NumExtent []float64
 }
 
@@ -80,8 +86,18 @@ func (p *profiler) sampleExtent(values []string) []string {
 	return out
 }
 
+// profileScratch carries the recycled buffers one ProfileTable pass
+// threads through its profileColumn calls, so per-value decomposition
+// work (tokens, part signals, format strings) reuses memory across the
+// whole table instead of allocating per value.
+type profileScratch struct {
+	rset    []string
+	rs      format.RSetScratch
+	signals tokenize.SignalScratch
+}
+
 // profileColumn runs Algorithm 1 for one attribute.
-func (p *profiler) profileColumn(ref AttrRef, col *table.Column) Profile {
+func (p *profiler) profileColumn(ref AttrRef, col *table.Column, scratch *profileScratch) Profile {
 	prof := Profile{
 		Ref:     ref,
 		Name:    col.Name,
@@ -95,29 +111,38 @@ func (p *profiler) profileColumn(ref AttrRef, col *table.Column) Profile {
 	// F: regex strings of the values. Numeric columns are indexed here
 	// too (Section III-C: "We do index them into the name– and
 	// format–related indexes").
-	prof.RSig = p.hasher.Sketch(format.RSet(values))
+	scratch.rset = format.RSetAppend(scratch.rset[:0], values, &scratch.rs)
+	prof.RSig = p.hasher.Sketch(scratch.rset)
 
 	if prof.Numeric {
 		// V and E are not useful for numbers; keep the extent for the
-		// guarded KS computation.
+		// guarded KS computation, pre-sorted so that computation never
+		// has to copy it (the column's own cache stays untouched).
 		prof.TSig = p.hasher.NewSignature()
 		prof.EZero = true
 		prof.ESig, _ = p.planes.Sketch(make([]float64, embed.Dim))
-		prof.NumExtent = col.NumericExtent()
+		if ext := col.NumericExtent(); len(ext) > 0 {
+			sorted := make([]float64, len(ext))
+			copy(sorted, ext)
+			sort.Float64s(sorted)
+			prof.NumExtent = sorted
+		}
 		return prof
 	}
 
 	// One pass over the extent builds the token histogram (Algorithm 1
 	// lines 5-8), then the per-part refinement of Example 2 selects
-	// tset words and embedding nominations.
+	// tset words and embedding nominations. Both passes run on the
+	// table-level scratch, so the per-value decomposition allocates
+	// only distinct map keys.
 	hist := tokenize.NewHistogram()
 	for _, v := range values {
-		hist.Insert(tokenize.Tokens(v))
+		hist.Insert(scratch.signals.TokensAppend(v))
 	}
 	tset := make(map[string]struct{})
 	embedWords := make(map[string]struct{})
 	for _, v := range values {
-		tsetWords, embWords := hist.PartSignals(v)
+		tsetWords, embWords := hist.PartSignalsScratch(v, &scratch.signals)
 		for _, w := range tsetWords {
 			tset[w] = struct{}{}
 		}
@@ -154,8 +179,9 @@ func (p *profiler) profileColumn(ref AttrRef, col *table.Column) Profile {
 func (p *profiler) ProfileTable(tableID int, t *table.Table, classifier interface{ SubjectIndex(*table.Table) int }) []Profile {
 	subjectIdx := classifier.SubjectIndex(t)
 	out := make([]Profile, t.Arity())
+	var scratch profileScratch
 	for i, col := range t.Columns {
-		out[i] = p.profileColumn(AttrRef{TableID: tableID, Column: i}, col)
+		out[i] = p.profileColumn(AttrRef{TableID: tableID, Column: i}, col, &scratch)
 		out[i].Subject = i == subjectIdx
 	}
 	return out

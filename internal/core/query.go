@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"d3l/internal/stats"
@@ -64,10 +65,12 @@ func (e *Engine) TopK(target *table.Table, k int) ([]TableResult, error) {
 }
 
 // candidatePair is one (target column, candidate attribute) distance
-// vector.
+// vector. tableID caches the candidate's table so the grouping sort
+// never re-resolves profiles.
 type candidatePair struct {
 	targetCol int
 	attrID    int
+	tableID   int
 	dist      DistanceVector
 }
 
@@ -168,73 +171,86 @@ func (e *Engine) searchSpec(ctx context.Context, target *table.Table, spec Query
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return e.rankProfiled(ctx, target, tprofiles, tsubject, view, parallelism)
+}
 
+// rankProfiled is the post-profiling half of the pipeline — candidate
+// generation through ranking — and the region the zero-allocation
+// contract covers: all intermediate state lives in pooled arenas (see
+// scratch.go), and the only heap allocations a steady-state call
+// performs are the ones that escape into the returned SearchResult
+// (the ranked slice and the k winners' alignment rows). The
+// allocation-budget guard test pins this.
+func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofiles []Profile, tsubject *Profile, view specView, parallelism int) (*SearchResult, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
+	qs := e.getQueryScratch()
+	defer e.putQueryScratch(qs)
+
 	// Phase 1: per target attribute, gather candidates from the four
 	// indexes and compute pair distances. Columns are independent, so
-	// they fan out across the pool.
-	pairs, err := e.gatherPairs(ctx, tprofiles, tsubject, view, parallelism)
+	// they fan out across the pool, each into its own arena buffer.
+	pairs, err := e.gatherPairs(ctx, tprofiles, tsubject, view, parallelism, qs)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 2: per (target column, evidence type), build the R_t
-	// distance distributions backing the Eq. 2 CCDF weights.
+	// distance distributions backing the Eq. 2 CCDF weights. The
+	// samples live in the arena, laid out per column while the pair
+	// list is still in column order.
 	var ecdfs *distanceECDFs
 	if !view.uniform {
-		ecdfs = buildDistanceECDFs(len(tprofiles), pairs)
+		ecdfs = qs.buildECDFs(len(tprofiles))
 	}
 
-	// Phase 3: group by candidate table, align columns, aggregate.
-	// Tables are scored independently across the pool; the slot-per-
-	// table layout keeps output order independent of worker timing.
-	byTable := make(map[int][]candidatePair)
-	for _, p := range pairs {
-		tid := e.profiles[p.attrID].Ref.TableID
-		byTable[tid] = append(byTable[tid], p)
+	// Phase 3: group by candidate table — one sort of the pair list by
+	// (table, attribute) plus contiguous-run slicing, in place of the
+	// old byTable map — then score tables independently across the
+	// pool. The slot-per-run layout keeps output order independent of
+	// worker timing.
+	qs.runs = groupPairsByTable(pairs, qs.runs)
+	runs := qs.runs
+	if cap(qs.scored) < len(runs) {
+		qs.scored = make([]scoredTable, len(runs))
 	}
-	tids := make([]int, 0, len(byTable))
-	for tid := range byTable {
-		tids = append(tids, tid)
-	}
-	sort.Ints(tids)
-	scored := make([]TableResult, len(tids))
-	valid := make([]bool, len(tids))
-	if err := forEachIndexCtx(ctx, len(tids), parallelism, func(i int) {
-		tid := tids[i]
-		aligns := e.alignColumns(byTable[tid])
-		if len(aligns) == 0 {
-			return
+	scored := qs.scored[:len(runs)]
+	if err := forEachIndexCtx(ctx, len(runs), parallelism, func(i int) {
+		run := runs[i]
+		tablePairs := pairs[run.start:run.end]
+		dist, vec := e.scoreRun(tablePairs, len(tprofiles), ecdfs, &view)
+		scored[i] = scoredTable{
+			tid:   run.tid,
+			start: run.start,
+			end:   run.end,
+			dist:  dist,
+			name:  e.lake.Table(run.tid).Name,
+			vec:   vec,
 		}
-		vec := aggregateEq1(aligns, ecdfs, view.disabled)
-		scored[i] = TableResult{
-			TableID:    tid,
-			Name:       e.lake.Table(tid).Name,
-			Distance:   combineEq3(view.weights, view.disabled, vec),
-			Vector:     vec,
-			Alignments: aligns,
-		}
-		valid[i] = true
 	}); err != nil {
 		return nil, err
 	}
-	results := make([]TableResult, 0, len(tids))
-	for i := range scored {
-		if valid[i] {
-			results = append(results, scored[i])
+
+	// Ranking: bounded top-k selection over the scored slots instead
+	// of a full sort — same (Distance, Name) order, only k survivors.
+	// Alignment rows are materialised for the winners alone; the old
+	// pipeline built them for every scored table and then threw all
+	// but k away.
+	qs.top = selectTopK(scored, view.k, qs.top)
+	ws := e.getWorkerScratch()
+	results := make([]TableResult, len(qs.top))
+	for i, idx := range qs.top {
+		st := &scored[idx]
+		results[i] = TableResult{
+			TableID:    st.tid,
+			Name:       st.name,
+			Distance:   st.dist,
+			Vector:     st.vec,
+			Alignments: e.materializeAlignments(pairs[st.start:st.end], len(tprofiles), ws),
 		}
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Distance != results[j].Distance {
-			return results[i].Distance < results[j].Distance
-		}
-		return results[i].Name < results[j].Name
-	})
-	if len(results) > view.k {
-		results = results[:view.k]
-	}
+	e.putWorkerScratch(ws)
 	return &SearchResult{
 		Target:         target,
 		TargetProfiles: tprofiles,
@@ -242,9 +258,103 @@ func (e *Engine) searchSpec(ctx context.Context, target *table.Table, spec Query
 		Ranked:         results,
 		Stats: SearchStats{
 			CandidatePairs: len(pairs),
-			TablesScored:   len(tids),
+			TablesScored:   len(runs),
 		},
 	}, nil
+}
+
+// scoreRun scores one candidate table from its contiguous pair run:
+// per-target-column best-pair selection (the alignment decision)
+// followed by the Eq. 1 aggregation and the Eq. 3 reduction, all on
+// worker scratch. It is float-for-float the computation alignColumns +
+// aggregateEq1 + combineEq3 perform — selection uses the same
+// (mean distance, attribute id) tie-break, and the aggregation
+// accumulates in the same ascending-column order — without
+// materialising the []Alignment intermediate.
+// selectBestPairs runs the alignment decision for one table's pair
+// run on worker scratch: for every target column with candidates in
+// the run, best[c] indexes the run's pair with the smallest mean
+// distance (ties towards the smaller attribute id, exactly
+// alignColumns' rule). Slot c is aligned iff mark[c] == epoch. Both
+// scoreRun and materializeAlignments go through this one helper so
+// the scores and the reported alignments can never drift apart.
+func selectBestPairs(tablePairs []candidatePair, numCols int, ws *workerScratch) (best []int32, mark []uint32, epoch uint32, aligned int) {
+	best, mark, epoch = ws.bestEpoch(numCols)
+	for i := range tablePairs {
+		p := &tablePairs[i]
+		c := p.targetCol
+		if mark[c] != epoch {
+			mark[c] = epoch
+			best[c] = int32(i)
+			aligned++
+			continue
+		}
+		cur := &tablePairs[best[c]]
+		pm, cm := p.dist.Mean(), cur.dist.Mean()
+		if pm < cm || (pm == cm && p.attrID < cur.attrID) {
+			best[c] = int32(i)
+		}
+	}
+	return best, mark, epoch, aligned
+}
+
+func (e *Engine) scoreRun(tablePairs []candidatePair, numCols int, ecdfs *distanceECDFs, view *specView) (float64, DistanceVector) {
+	ws := e.getWorkerScratch()
+	defer e.putWorkerScratch(ws)
+	best, mark, epoch, aligned := selectBestPairs(tablePairs, numCols, ws)
+	var vec DistanceVector
+	for t := 0; t < int(NumEvidence); t++ {
+		if view.disabled[t] {
+			vec[t] = 1
+			continue
+		}
+		var num, den float64
+		for c := 0; c < numCols; c++ {
+			if mark[c] != epoch {
+				continue
+			}
+			d := tablePairs[best[c]].dist[t]
+			w := ecdfs.weight(c, Evidence(t), d)
+			num += w * d
+			den += w
+		}
+		if den == 0 {
+			// Every row is maximally distant in its distribution; the
+			// unweighted mean preserves the (weak) signal.
+			for c := 0; c < numCols; c++ {
+				if mark[c] == epoch {
+					num += tablePairs[best[c]].dist[t]
+				}
+			}
+			vec[t] = num / float64(aligned)
+			continue
+		}
+		vec[t] = num / den
+	}
+	return combineEq3(view.weights, view.disabled, vec), vec
+}
+
+// materializeAlignments builds the alignment rows for one top-k winner
+// by re-running the best-pair selection on its run. Output is exactly
+// what alignColumns produced: one row per aligned target column,
+// ascending. Only the returned slice is freshly allocated — it escapes
+// into the SearchResult.
+func (e *Engine) materializeAlignments(tablePairs []candidatePair, numCols int, ws *workerScratch) []Alignment {
+	best, mark, epoch, aligned := selectBestPairs(tablePairs, numCols, ws)
+	out := make([]Alignment, 0, aligned)
+	for c := 0; c < numCols; c++ {
+		if mark[c] != epoch {
+			continue
+		}
+		p := &tablePairs[best[c]]
+		out = append(out, Alignment{
+			TargetColumn: c,
+			AttrID:       p.attrID,
+			CandColumn:   e.profiles[p.attrID].Ref.Column,
+			Distances:    p.dist,
+		})
+	}
+	return out
 }
 
 // search is the legacy test shim: the default spec at an explicit
@@ -256,23 +366,27 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 // gatherPairs performs the index lookups of Section III-D: for each
 // target attribute, each index contributes candidates, and every
 // distinct candidate gets a full distance vector. Columns fan out
-// across the worker pool; within a column candidates are processed in
-// ascending attribute-id order, which (together with the per-column
-// result slots) makes the pair list identical at any parallelism.
-// Cancellation is checked between columns and between candidate
-// batches inside each column. Callers must hold e.mu.
-func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject *Profile, view specView, parallelism int) ([]candidatePair, error) {
-	perCol := make([][]candidatePair, len(tprofiles))
-	if err := forEachIndexCtx(ctx, len(tprofiles), parallelism, func(col int) {
-		perCol[col] = e.gatherColumn(ctx, col, &tprofiles[col], tsubject, view)
+// across the worker pool into per-column arena buffers; within a
+// column candidates are processed in ascending attribute-id order,
+// which (together with the per-column buffers) makes the pair list
+// identical at any parallelism. Cancellation is checked between
+// columns and between candidate batches inside each column. Callers
+// must hold e.mu. The returned slice is arena memory, valid until the
+// arena is recycled.
+func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject *Profile, view specView, parallelism int, qs *queryScratch) ([]candidatePair, error) {
+	n := len(tprofiles)
+	qs.ensureCols(n)
+	if err := forEachIndexCtx(ctx, n, parallelism, func(col int) {
+		qs.colBufs[col] = e.gatherColumn(ctx, col, &tprofiles[col], tsubject, view, qs.colBufs[col])
 	}); err != nil {
 		return nil, err
 	}
-	var pairs []candidatePair
-	for _, colPairs := range perCol {
-		pairs = append(pairs, colPairs...)
+	flat := qs.flat[:0]
+	for _, colPairs := range qs.colBufs[:n] {
+		flat = append(flat, colPairs...)
 	}
-	return pairs, nil
+	qs.flat = flat
+	return flat, nil
 }
 
 // candidateBatch is how many pair-distance computations run between
@@ -282,46 +396,50 @@ func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject 
 const candidateBatch = 64
 
 // gatherColumn collects the deduplicated candidate set of one target
-// column from the four forests and computes the pair distances. A
+// column from the four forests and computes the pair distances,
+// appending them to dst (arena memory — the column's recycled pair
+// buffer). Candidate-set state lives on worker scratch: the forests
+// append into the recycled probe buffer, and cross-forest dedup uses
+// the epoch-stamped visited array instead of a per-call map. A
 // cancelled context truncates the work; the caller discards the
 // partial result (gatherPairs returns ctx.Err()), so truncation is
 // never observable in an answer.
-func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubject *Profile, view specView) []candidatePair {
-	seen := make(map[int32]struct{})
-	collect := func(ids []int32) {
-		for _, id := range ids {
-			seen[id] = struct{}{}
-		}
-	}
+func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubject *Profile, view specView, dst []candidatePair) []candidatePair {
+	dst = dst[:0]
+	ws := e.getWorkerScratch()
+	defer e.putWorkerScratch(ws)
+	// Each QueryInto appends its forest's (sorted, distinct) candidate
+	// region; regions from different forests may overlap.
+	ids := ws.ids[:0]
 	if !view.disabled[EvidenceName] {
-		if ids, err := e.forestN.Query(tp.QSig, view.budget); err == nil {
-			collect(ids)
-		}
+		ids, _ = e.forestN.QueryInto(tp.QSig, view.budget, ids)
 	}
 	if !view.disabled[EvidenceValue] && !tp.Numeric {
-		if ids, err := e.forestV.Query(tp.TSig, view.budget); err == nil {
-			collect(ids)
-		}
+		ids, _ = e.forestV.QueryInto(tp.TSig, view.budget, ids)
 	}
 	if !view.disabled[EvidenceFormat] {
-		if ids, err := e.forestF.Query(tp.RSig, view.budget); err == nil {
-			collect(ids)
-		}
+		ids, _ = e.forestF.QueryInto(tp.RSig, view.budget, ids)
 	}
 	if !view.disabled[EvidenceEmbedding] && !tp.EZero {
-		if ids, err := e.forestE.Query(tp.ESig.HashValues(), view.budget); err == nil {
-			collect(ids)
+		ws.evals = tp.ESig.HashValuesInto(ws.evals[:0])
+		ids, _ = e.forestE.QueryInto(ws.evals, view.budget, ids)
+	}
+	ws.ids = ids
+	// Cross-forest dedup: stamp each attribute id on first sight, then
+	// sort the survivors so candidates are processed in ascending
+	// attribute-id order (the determinism contract).
+	visited, epoch := ws.visitedEpoch(len(e.profiles))
+	uniq := ids[:0]
+	for _, id := range ids {
+		if visited[id] != epoch {
+			visited[id] = epoch
+			uniq = append(uniq, id)
 		}
 	}
-	ids := make([]int, 0, len(seen))
-	for id := range seen {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	out := make([]candidatePair, 0, len(ids))
-	for n, id := range ids {
+	slices.Sort(uniq)
+	for n, id := range uniq {
 		if n%candidateBatch == 0 && ctx.Err() != nil {
-			return nil
+			return dst[:0]
 		}
 		cand := &e.profiles[id]
 		var candSubject *Profile
@@ -329,18 +447,61 @@ func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubjec
 			candSubject = &e.profiles[s]
 		}
 		d := e.pairDistances(tp, cand, tsubject, candSubject, view.disabled)
-		out = append(out, candidatePair{targetCol: col, attrID: id, dist: d})
+		dst = append(dst, candidatePair{targetCol: col, attrID: int(id), tableID: cand.Ref.TableID, dist: d})
 	}
-	return out
+	return dst
 }
 
 // distanceECDFs holds, per target column and evidence type, the ECDF of
 // the R_t distribution (all distances of that type between the target
-// attribute and its lake candidates).
+// attribute and its lake candidates), laid out flat: entry
+// col*NumEvidence+t. A zero-length ECDF means "no distribution" for
+// that cell.
 type distanceECDFs struct {
-	perCol [][]*stats.ECDF // [col][evidence]
+	cols int
+	e    []stats.ECDF
 }
 
+// buildECDFs builds the per-(column, evidence) distributions into the
+// arena: one pass lays every cell's samples out contiguously in the
+// recycled sample buffer (the pair list is still in column order at
+// this point, so a cell's samples are a strided read of one column's
+// pairs), sorts each region in place, and wraps them as ECDF values —
+// no per-cell allocations.
+func (qs *queryScratch) buildECDFs(numCols int) *distanceECDFs {
+	total := 0
+	for c := 0; c < numCols; c++ {
+		total += len(qs.colBufs[c])
+	}
+	if cap(qs.samples) < total*int(NumEvidence) {
+		qs.samples = make([]float64, 0, total*int(NumEvidence))
+	}
+	buf := qs.samples[:0]
+	if cap(qs.ecdfBuf) < numCols*int(NumEvidence) {
+		qs.ecdfBuf = make([]stats.ECDF, 0, numCols*int(NumEvidence))
+	}
+	cells := qs.ecdfBuf[:0]
+	for c := 0; c < numCols; c++ {
+		colPairs := qs.colBufs[c]
+		for t := 0; t < int(NumEvidence); t++ {
+			start := len(buf)
+			for i := range colPairs {
+				buf = append(buf, colPairs[i].dist[t])
+			}
+			region := buf[start:]
+			slices.Sort(region)
+			cells = append(cells, stats.ECDFOf(region))
+		}
+	}
+	qs.samples = buf
+	qs.ecdfBuf = cells
+	qs.ecdfs = distanceECDFs{cols: numCols, e: cells}
+	return &qs.ecdfs
+}
+
+// buildDistanceECDFs is the standalone (allocating) constructor over a
+// flat pair list, kept for the equation tests and the naive reference
+// implementation the equivalence property test compares against.
 func buildDistanceECDFs(numCols int, pairs []candidatePair) *distanceECDFs {
 	samples := make([][][]float64, numCols)
 	for c := range samples {
@@ -351,15 +512,13 @@ func buildDistanceECDFs(numCols int, pairs []candidatePair) *distanceECDFs {
 			samples[p.targetCol][t] = append(samples[p.targetCol][t], p.dist[t])
 		}
 	}
-	out := &distanceECDFs{perCol: make([][]*stats.ECDF, numCols)}
+	out := &distanceECDFs{cols: numCols, e: make([]stats.ECDF, numCols*int(NumEvidence))}
 	for c := range samples {
-		out.perCol[c] = make([]*stats.ECDF, NumEvidence)
 		for t := range samples[c] {
 			if len(samples[c][t]) > 0 {
-				ecdf, err := stats.NewECDF(samples[c][t])
-				if err == nil {
-					out.perCol[c][t] = ecdf
-				}
+				sorted := append([]float64(nil), samples[c][t]...)
+				slices.Sort(sorted)
+				out.e[c*int(NumEvidence)+t] = stats.ECDFOf(sorted)
 			}
 		}
 	}
@@ -375,8 +534,8 @@ func (d *distanceECDFs) weight(col int, t Evidence, dist float64) float64 {
 	if d == nil {
 		return 1
 	}
-	if col < len(d.perCol) {
-		if e := d.perCol[col][t]; e != nil {
+	if col < d.cols {
+		if e := &d.e[col*int(NumEvidence)+int(t)]; e.Len() > 0 {
 			// Evaluate strictly below dist: the CCDF at the smallest
 			// observed distance must stay positive or Eq. 1 zeroes out
 			// exactly the strongest signals.

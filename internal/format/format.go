@@ -16,8 +16,8 @@
 package format
 
 import (
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Class symbols, ordered as enumerated in the paper; when a token
@@ -79,73 +79,94 @@ func classify(run string) rune {
 	}
 }
 
-// tokenSymbols scans one whitespace-delimited token and emits its symbol
-// string by segmenting it into runs: letters-with-case-structure,
-// digits, and punctuation. A capitalised prefix followed by digits
-// yields separate symbols (e.g. "M13" -> U N, matching the A-or-split
-// treatment; we classify maximal same-category runs then join).
-func tokenSymbols(token string) string {
-	if token == "" {
-		return ""
-	}
-	var symbols []rune
-	runes := []rune(token)
+// appendTokenSymbols scans one whitespace-delimited token and appends
+// its symbol string to dst by segmenting it into runs: letters-with-
+// case-structure, digits, and punctuation. A capitalised prefix
+// followed by digits yields separate symbols (e.g. "M13" -> U N,
+// matching the A-or-split treatment; we classify maximal same-category
+// runs then join). Class symbols are ASCII, so the buffer is a plain
+// byte slice the caller recycles — deriving a format string allocates
+// nothing until a distinct rset entry is interned.
+func appendTokenSymbols(dst []byte, token string) []byte {
+	start := len(dst)
 	i := 0
-	for i < len(runes) {
-		r := runes[i]
+	for i < len(token) {
+		r, sz := utf8.DecodeRuneInString(token[i:])
 		switch {
 		case unicode.IsUpper(r):
 			// Consume the upper run, then an optional lower tail (C).
-			j := i + 1
-			for j < len(runes) && unicode.IsUpper(runes[j]) {
-				j++
+			j := i + sz
+			single := true
+			for j < len(token) {
+				r2, sz2 := utf8.DecodeRuneInString(token[j:])
+				if !unicode.IsUpper(r2) {
+					break
+				}
+				j += sz2
+				single = false
 			}
-			if j == i+1 { // single capital: maybe C with lower tail
+			if single { // single capital: maybe C with lower tail
 				k := j
-				for k < len(runes) && unicode.IsLower(runes[k]) {
-					k++
+				for k < len(token) {
+					r2, sz2 := utf8.DecodeRuneInString(token[k:])
+					if !unicode.IsLower(r2) {
+						break
+					}
+					k += sz2
 				}
 				if k > j {
-					symbols = append(symbols, ClassC)
+					dst = append(dst, ClassC)
 					i = k
 					continue
 				}
 			}
-			symbols = append(symbols, ClassU)
+			dst = append(dst, ClassU)
 			i = j
 		case unicode.IsLower(r):
-			j := i + 1
-			for j < len(runes) && unicode.IsLower(runes[j]) {
-				j++
+			j := i + sz
+			for j < len(token) {
+				r2, sz2 := utf8.DecodeRuneInString(token[j:])
+				if !unicode.IsLower(r2) {
+					break
+				}
+				j += sz2
 			}
-			symbols = append(symbols, ClassL)
+			dst = append(dst, ClassL)
 			i = j
 		case unicode.IsDigit(r):
-			j := i + 1
-			for j < len(runes) && unicode.IsDigit(runes[j]) {
-				j++
+			j := i + sz
+			for j < len(token) {
+				r2, sz2 := utf8.DecodeRuneInString(token[j:])
+				if !unicode.IsDigit(r2) {
+					break
+				}
+				j += sz2
 			}
-			symbols = append(symbols, ClassN)
+			dst = append(dst, ClassN)
 			i = j
 		default:
-			j := i + 1
-			for j < len(runes) && !unicode.IsUpper(runes[j]) && !unicode.IsLower(runes[j]) && !unicode.IsDigit(runes[j]) {
-				j++
+			j := i + sz
+			for j < len(token) {
+				r2, sz2 := utf8.DecodeRuneInString(token[j:])
+				if unicode.IsUpper(r2) || unicode.IsLower(r2) || unicode.IsDigit(r2) {
+					break
+				}
+				j += sz2
 			}
-			symbols = append(symbols, ClassP)
+			dst = append(dst, ClassP)
 			i = j
 		}
 	}
 	// Mixed alphanumeric tokens with more than two alternations collapse
 	// to A: they behave like identifiers (paper's A class), keeping rsets
 	// crisp rather than noisy.
-	if len(symbols) > 3 && !containsP(symbols) {
-		return string(ClassA)
+	if len(dst)-start > 3 && !containsP(dst[start:]) {
+		dst = append(dst[:start], ClassA)
 	}
-	return string(symbols)
+	return dst
 }
 
-func containsP(symbols []rune) bool {
+func containsP(symbols []byte) bool {
 	for _, s := range symbols {
 		if s == ClassP {
 			return true
@@ -154,53 +175,91 @@ func containsP(symbols []rune) bool {
 	return false
 }
 
+// regexInto derives the format-describing byte string of a value using
+// the two recycled buffers: sym accumulates the raw per-token symbols,
+// out receives the collapsed form. It returns both buffers (possibly
+// grown) with out holding the result.
+func regexInto(value string, sym, out []byte) (symBuf, collapsed []byte) {
+	sym = sym[:0]
+	i := 0
+	for i < len(value) {
+		r, sz := utf8.DecodeRuneInString(value[i:])
+		if unicode.IsSpace(r) {
+			i += sz
+			continue
+		}
+		j := i + sz
+		for j < len(value) {
+			r2, sz2 := utf8.DecodeRuneInString(value[j:])
+			if unicode.IsSpace(r2) {
+				break
+			}
+			j += sz2
+		}
+		sym = appendTokenSymbols(sym, value[i:j])
+		i = j
+	}
+	// Collapse runs of the same symbol to "X+".
+	out = out[:0]
+	k := 0
+	for k < len(sym) {
+		out = append(out, sym[k])
+		j := k + 1
+		for j < len(sym) && sym[j] == sym[k] {
+			j++
+		}
+		if j > k+1 {
+			out = append(out, '+')
+		}
+		k = j
+	}
+	return sym, out
+}
+
 // RegexString maps a whole value to its format-describing string:
 // per-token symbol strings joined in order, with consecutive identical
 // symbols collapsed to the first occurrence followed by '+'.
 func RegexString(value string) string {
-	tokens := strings.Fields(value)
-	if len(tokens) == 0 {
-		return ""
-	}
-	var raw []rune
-	for _, tok := range tokens {
-		raw = append(raw, []rune(tokenSymbols(tok))...)
-	}
-	return collapse(raw)
+	_, out := regexInto(value, nil, nil)
+	return string(out)
 }
 
-// collapse rewrites runs of the same symbol as "X+".
-func collapse(symbols []rune) string {
-	var b strings.Builder
-	i := 0
-	for i < len(symbols) {
-		b.WriteRune(symbols[i])
-		j := i + 1
-		for j < len(symbols) && symbols[j] == symbols[i] {
-			j++
-		}
-		if j > i+1 {
-			b.WriteByte('+')
-		}
-		i = j
+// RSetScratch carries the reusable buffers of RSetAppend. The zero
+// value is ready.
+type RSetScratch struct {
+	sym  []byte
+	out  []byte
+	seen map[string]struct{}
+}
+
+// RSetAppend is the allocation-conscious RSet: it appends the
+// deduplicated regex strings of values to dst, reusing the scratch
+// buffers, and interns a string only for each distinct format (the map
+// membership probe on the byte buffer compiles to a no-allocation
+// lookup).
+func RSetAppend(dst []string, values []string, s *RSetScratch) []string {
+	if s.seen == nil {
+		s.seen = make(map[string]struct{})
 	}
-	return b.String()
+	clear(s.seen)
+	for _, v := range values {
+		s.sym, s.out = regexInto(v, s.sym, s.out)
+		if len(s.out) == 0 {
+			continue
+		}
+		if _, dup := s.seen[string(s.out)]; dup {
+			continue
+		}
+		rs := string(s.out)
+		s.seen[rs] = struct{}{}
+		dst = append(dst, rs)
+	}
+	return dst
 }
 
 // RSet computes the rset of an extent: the deduplicated set of regex
 // strings of its values (the union in Algorithm 1, line 7).
 func RSet(values []string) []string {
-	seen := make(map[string]struct{})
-	var out []string
-	for _, v := range values {
-		rs := RegexString(v)
-		if rs == "" {
-			continue
-		}
-		if _, dup := seen[rs]; !dup {
-			seen[rs] = struct{}{}
-			out = append(out, rs)
-		}
-	}
-	return out
+	var s RSetScratch
+	return RSetAppend(nil, values, &s)
 }

@@ -3,6 +3,7 @@ package lsh
 import (
 	"bytes"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -59,14 +60,31 @@ func (f *Forest) MinSignatureLen() int { return f.numTrees * f.hashesPerTree }
 // Len reports the number of indexed items.
 func (f *Forest) Len() int { return f.count }
 
-// key extracts the byte key of tree t from a signature.
-func (f *Forest) key(t int, sig []uint64) []byte {
-	k := make([]byte, f.hashesPerTree)
-	base := t * f.hashesPerTree
-	for i := 0; i < f.hashesPerTree; i++ {
-		k[i] = byte(sig[base+i]) // low byte: uniform for MinHash values
+// keyStackBytes is the key-scratch size every probe and mutation keeps
+// on its stack. Key extraction used to make() a fresh slice per tree
+// per operation — O(trees) garbage per item on index builds and O(trees
+// × depths) per query — so the whole package now extracts keys into a
+// caller-owned buffer instead. Layouts wider than this (none of the
+// shipped configurations come close; the default is 32) fall back to a
+// single heap allocation per call.
+const keyStackBytes = 64
+
+// keyScratch sizes a key buffer for this forest's layout: the caller's
+// stack array when it fits, one heap slice otherwise.
+func (f *Forest) keyScratch(buf []byte) []byte {
+	if f.hashesPerTree <= len(buf) {
+		return buf[:f.hashesPerTree]
 	}
-	return k
+	return make([]byte, f.hashesPerTree)
+}
+
+// keyInto extracts the byte key of tree t from a signature into key,
+// which must be hashesPerTree bytes (see keyScratch).
+func (f *Forest) keyInto(key []byte, t int, sig []uint64) {
+	base := t * f.hashesPerTree
+	for i := range key {
+		key[i] = byte(sig[base+i]) // low byte: uniform for MinHash values
+	}
 }
 
 // Add inserts an item. It must not be called after Index.
@@ -77,9 +95,12 @@ func (f *Forest) Add(id int32, sig []uint64) error {
 	if len(sig) < f.MinSignatureLen() {
 		return fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
 	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
 	for t := 0; t < f.numTrees; t++ {
 		tree := &f.trees[t]
-		tree.keys = append(tree.keys, f.key(t, sig)...)
+		f.keyInto(key, t, sig)
+		tree.keys = append(tree.keys, key...)
 		tree.ids = append(tree.ids, id)
 	}
 	f.count++
@@ -100,14 +121,20 @@ func (f *Forest) Insert(id int32, sig []uint64) error {
 		return fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
 	}
 	h := f.hashesPerTree
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
 	for t := 0; t < f.numTrees; t++ {
 		tree := &f.trees[t]
-		key := f.key(t, sig)
+		f.keyInto(key, t, sig)
 		n := len(tree.ids)
 		pos := sort.Search(n, func(i int) bool {
 			return bytes.Compare(tree.keys[i*h:i*h+h], key) >= 0
 		})
-		tree.keys = append(tree.keys, make([]byte, h)...)
+		// Appending the key itself (rather than a fresh zero slice)
+		// extends the array by exactly h bytes without a temporary;
+		// the memmove below then shifts the tail into place, and for
+		// pos == n the appended bytes already are the entry.
+		tree.keys = append(tree.keys, key...)
 		copy(tree.keys[(pos+1)*h:], tree.keys[pos*h:n*h])
 		copy(tree.keys[pos*h:], key)
 		tree.ids = append(tree.ids, 0)
@@ -130,10 +157,12 @@ func (f *Forest) Delete(id int32, sig []uint64) (bool, error) {
 		return false, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
 	}
 	h := f.hashesPerTree
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
 	found := false
 	for t := 0; t < f.numTrees; t++ {
 		tree := &f.trees[t]
-		key := f.key(t, sig)
+		f.keyInto(key, t, sig)
 		lo, hi := f.prefixRange(tree, key, h)
 		for i := lo; i < hi; i++ {
 			if tree.ids[i] != id {
@@ -212,16 +241,15 @@ func (f *Forest) Query(sig []uint64, minResults int) ([]int32, error) {
 	if minResults <= 0 {
 		minResults = 1
 	}
-	keys := make([][]byte, f.numTrees)
-	for t := range keys {
-		keys[t] = f.key(t, sig)
-	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
 	seen := make(map[int32]struct{})
 	var out []int32
 	for depth := f.hashesPerTree; depth >= 1; depth-- {
 		for t := 0; t < f.numTrees; t++ {
 			tree := &f.trees[t]
-			lo, hi := f.prefixRange(tree, keys[t], depth)
+			f.keyInto(key, t, sig)
+			lo, hi := f.prefixRange(tree, key, depth)
 			for i := lo; i < hi; i++ {
 				id := tree.ids[i]
 				if _, dup := seen[id]; !dup {
@@ -237,6 +265,55 @@ func (f *Forest) Query(sig []uint64, minResults int) ([]int32, error) {
 	return out, nil
 }
 
+// QueryInto is the allocation-free form of Query for hot paths: it
+// appends the candidate set to dst (which may be nil or a recycled
+// buffer) and returns the extended slice, performing zero heap
+// allocations once dst has grown to its steady-state capacity. The
+// returned candidates are the same set Query produces for the same
+// arguments, but sorted ascending rather than in discovery order —
+// callers that rank candidates exactly (as the engine does) are
+// order-insensitive.
+//
+// The implementation exploits the prefix-nesting property: for any
+// tree, the entry range matching depth d contains the range matching
+// depth d+1, so the candidate set accumulated from the longest prefix
+// down to d equals the union of the per-tree ranges at d alone. Each
+// descent step therefore re-collects from its own depth into dst,
+// deduplicates in place (sort + compact, no map), and stops as soon as
+// minResults distinct candidates exist — exactly Query's termination
+// rule.
+func (f *Forest) QueryInto(sig []uint64, minResults int, dst []int32) ([]int32, error) {
+	if !f.indexed {
+		return dst, fmt.Errorf("lsh: Query before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return dst, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	if minResults <= 0 {
+		minResults = 1
+	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
+	base := len(dst)
+	for depth := f.hashesPerTree; depth >= 1; depth-- {
+		dst = dst[:base]
+		for t := 0; t < f.numTrees; t++ {
+			tree := &f.trees[t]
+			f.keyInto(key, t, sig)
+			lo, hi := f.prefixRange(tree, key, depth)
+			dst = append(dst, tree.ids[lo:hi]...)
+		}
+		region := dst[base:]
+		slices.Sort(region)
+		region = slices.Compact(region)
+		dst = dst[:base+len(region)]
+		if len(region) >= minResults {
+			break
+		}
+	}
+	return dst, nil
+}
+
 // QueryMinDepth returns all items sharing at least depth leading hash
 // values with the query in some tree. This is the fixed-threshold lookup
 // D3L's join-path guards use (membership test, Algorithm 2 and 3).
@@ -250,10 +327,12 @@ func (f *Forest) QueryMinDepth(sig []uint64, depth int) ([]int32, error) {
 	if depth > f.hashesPerTree {
 		depth = f.hashesPerTree
 	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
 	seen := make(map[int32]struct{})
 	var out []int32
 	for t := 0; t < f.numTrees; t++ {
-		key := f.key(t, sig)
+		f.keyInto(key, t, sig)
 		tree := &f.trees[t]
 		lo, hi := f.prefixRange(tree, key, depth)
 		for i := lo; i < hi; i++ {
@@ -265,6 +344,38 @@ func (f *Forest) QueryMinDepth(sig []uint64, depth int) ([]int32, error) {
 		}
 	}
 	return out, nil
+}
+
+// QueryMinDepthInto is the allocation-free form of QueryMinDepth: it
+// appends the (sorted, deduplicated) fixed-threshold candidate set to
+// dst and returns the extended slice. Same set as QueryMinDepth,
+// sorted ascending.
+func (f *Forest) QueryMinDepthInto(sig []uint64, depth int, dst []int32) ([]int32, error) {
+	if !f.indexed {
+		return dst, fmt.Errorf("lsh: QueryMinDepth before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return dst, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > f.hashesPerTree {
+		depth = f.hashesPerTree
+	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
+	base := len(dst)
+	for t := 0; t < f.numTrees; t++ {
+		f.keyInto(key, t, sig)
+		tree := &f.trees[t]
+		lo, hi := f.prefixRange(tree, key, depth)
+		dst = append(dst, tree.ids[lo:hi]...)
+	}
+	region := dst[base:]
+	slices.Sort(region)
+	region = slices.Compact(region)
+	return dst[:base+len(region)], nil
 }
 
 // SpaceBytes estimates the memory footprint of the index payload (keys

@@ -122,13 +122,19 @@ func CosineDistance(a, b BitSignature, nbits int) (float64, error) {
 // values so that cosine sketches can be indexed by the same Forest and
 // banded-LSH structures as MinHash signatures.
 func (s BitSignature) HashValues() []uint64 {
-	vals := make([]uint64, len(s)*8)
-	for i, w := range s {
+	return s.HashValuesInto(make([]uint64, 0, len(s)*8))
+}
+
+// HashValuesInto is the allocation-free form of HashValues for hot
+// paths: it appends the hash values to dst (which may be a recycled
+// buffer) and returns the extended slice.
+func (s BitSignature) HashValuesInto(dst []uint64) []uint64 {
+	for _, w := range s {
 		for b := 0; b < 8; b++ {
-			vals[i*8+b] = (w >> (8 * b)) & 0xff
+			dst = append(dst, (w>>(8*b))&0xff)
 		}
 	}
-	return vals
+	return dst
 }
 
 // Bytes serialises the signature for space accounting.

@@ -180,6 +180,11 @@ func Similarity(a, b Signature) (float64, error) {
 	if len(a) == 0 {
 		return 0, errors.New("minhash: empty signatures")
 	}
+	// Re-slicing b to a's length lets the compiler elide the bounds
+	// check on b[i]: this comparison loop is the innermost kernel of
+	// every pair distance the query pipeline computes, and it must stay
+	// branch-lean and allocation-free.
+	b = b[:len(a)]
 	equal := 0
 	for i := range a {
 		if a[i] == b[i] {

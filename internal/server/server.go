@@ -206,6 +206,12 @@ func New(engine *d3l.Engine, cfg Config) (*Server, error) {
 		flights: make(map[string]*flight),
 		mux:     http.NewServeMux(),
 	}
+	// The admission gate bounds concurrent queries, which in turn
+	// bounds the engine's pooled query arenas in flight: prewarming one
+	// arena set per slot means admitted work reuses recycled scratch
+	// from the first request on, keeping the steady-state query path
+	// allocation-free across requests.
+	engine.PrewarmScratch(cfg.MaxConcurrent)
 	s.engine.Store(engine)
 	s.routes()
 	return s, nil
@@ -265,6 +271,10 @@ func (s *Server) Swap(engine *d3l.Engine) error {
 	// being retired.
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	// A freshly loaded engine has empty arena pools; warm them to the
+	// admission capacity so the swap does not reintroduce allocation
+	// churn under live traffic.
+	engine.PrewarmScratch(s.cfg.MaxConcurrent)
 	s.engine.Store(engine)
 	s.swapGen.Add(1)
 	s.cache.purge()

@@ -26,6 +26,19 @@ func KolmogorovSmirnov(a, b []float64) (float64, error) {
 	sb := append([]float64(nil), b...)
 	sort.Float64s(sa)
 	sort.Float64s(sb)
+	return KolmogorovSmirnovSorted(sa, sb)
+}
+
+// KolmogorovSmirnovSorted is KolmogorovSmirnov over samples the caller
+// guarantees are already sorted ascending. It performs no allocations
+// — the form the query hot path uses, with profile extents kept sorted
+// from the moment they are built (there being no point re-sorting the
+// same extent on every one of the O(candidates) distance computations
+// it participates in).
+func KolmogorovSmirnovSorted(sa, sb []float64) (float64, error) {
+	if len(sa) == 0 || len(sb) == 0 {
+		return 1, ErrEmptySample
+	}
 	var d float64
 	i, j := 0, 0
 	na, nb := float64(len(sa)), float64(len(sb))
@@ -61,6 +74,16 @@ func NewECDF(sample []float64) (*ECDF, error) {
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
 	return &ECDF{sorted: s}, nil
+}
+
+// ECDFOf wraps an already-sorted sample as an ECDF value without
+// copying — the allocation-free constructor backing the query arena,
+// which lays every distribution's samples out in one recycled buffer.
+// The caller must not mutate sorted while the ECDF is in use; an empty
+// sample yields the zero ECDF (Len 0), which callers must treat as
+// "no distribution" before evaluating it.
+func ECDFOf(sorted []float64) ECDF {
+	return ECDF{sorted: sorted}
 }
 
 // P returns P(X <= x).

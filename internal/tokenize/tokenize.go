@@ -62,6 +62,41 @@ func isPartSeparator(r rune) bool {
 	return false
 }
 
+// isWordSeparator reports characters that split a part into words
+// (spaces and residual punctuation: hyphens, dots, underscores,
+// apostrophes).
+func isWordSeparator(r rune) bool {
+	return unicode.IsSpace(r) || r == '-' || r == '.' || r == '_' || r == '\''
+}
+
+// isTokenSeparator reports characters that end a token: both part and
+// word separators, since a token boundary occurs at either level of
+// the decomposition.
+func isTokenSeparator(r rune) bool {
+	return isPartSeparator(r) || isWordSeparator(r)
+}
+
+// appendFields appends the maximal separator-free substrings of s to
+// dst — strings.FieldsFunc without its span bookkeeping allocations;
+// the fields alias s.
+func appendFields(dst []string, s string, sep func(rune) bool) []string {
+	start := -1
+	for i, r := range s {
+		if sep(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
 // Parts splits a value into its parts at punctuation characters.
 // Empty parts are dropped.
 func Parts(value string) []string {
@@ -78,9 +113,7 @@ func Parts(value string) []string {
 // Words splits a part into lower-cased words at spaces and residual
 // punctuation (hyphens, dots), dropping empties.
 func Words(part string) []string {
-	fields := strings.FieldsFunc(strings.ToLower(part), func(r rune) bool {
-		return unicode.IsSpace(r) || r == '-' || r == '.' || r == '_' || r == '\''
-	})
+	fields := strings.FieldsFunc(strings.ToLower(part), isWordSeparator)
 	out := fields[:0]
 	for _, f := range fields {
 		if f != "" {
@@ -93,11 +126,22 @@ func Words(part string) []string {
 // Tokens is the full decomposition of a value: all words of all parts
 // (get_tokens(v) in Algorithm 1).
 func Tokens(value string) []string {
-	var out []string
-	for _, p := range Parts(value) {
-		out = append(out, Words(p)...)
-	}
-	return out
+	return TokensAppend(nil, value)
+}
+
+// TokensAppend is the allocation-conscious Tokens: it appends the
+// decomposition to dst (a recycled buffer) and returns the extended
+// slice. Tokens are substrings of the lower-cased value, so for
+// already-lower-case input the only work is the scan itself.
+//
+// Equivalence with Tokens: lower-casing never maps a letter onto a
+// separator (separators are fixed punctuation and whitespace), so
+// lowering the whole value before splitting produces the same fields
+// as splitting first and lowering each part; and splitting on the
+// union of part and word separators yields exactly the words of the
+// parts, in order.
+func TokensAppend(dst []string, value string) []string {
+	return appendFields(dst, strings.ToLower(value), isTokenSeparator)
 }
 
 // Histogram counts token occurrences across an attribute extent and
@@ -220,16 +264,92 @@ func (h *Histogram) PartSignals(value string) (tsetWords, embedWords []string) {
 func filterNonNumeric(words []string) []string {
 	var out []string
 	for _, w := range words {
-		numeric := true
-		for _, r := range w {
-			if r < '0' || r > '9' {
-				numeric = false
-				break
-			}
-		}
-		if !numeric {
+		if !isNumericWord(w) {
 			out = append(out, w)
 		}
 	}
 	return out
+}
+
+// isNumericWord reports a word made entirely of digits.
+func isNumericWord(w string) bool {
+	for _, r := range w {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// SignalScratch carries the reusable buffers of PartSignalsScratch so
+// the per-value refinement of a whole extent runs without per-value
+// allocations. The zero value is ready.
+type SignalScratch struct {
+	parts  []string
+	words  []string
+	tset   []string
+	embed  []string
+	tokens []string
+}
+
+// TokensAppend decomposes a value into s.tokens (overwriting the
+// previous call's result) — the buffer-reusing form profiling uses for
+// the histogram pass.
+func (s *SignalScratch) TokensAppend(value string) []string {
+	s.tokens = TokensAppend(s.tokens[:0], value)
+	return s.tokens
+}
+
+// PartSignalsScratch is PartSignals with every intermediate slice in
+// the caller's scratch: it returns the same (tsetWords, embedWords)
+// selection, valid until the next call on the same scratch, allocating
+// only when the lower-cased value differs from the original (Go
+// returns the input string unchanged when lowering is a no-op).
+func (h *Histogram) PartSignalsScratch(value string, s *SignalScratch) (tsetWords, embedWords []string) {
+	s.tset, s.embed = s.tset[:0], s.embed[:0]
+	// Lower once up front: part separators are fixed punctuation, which
+	// case mapping never produces, so part boundaries are unchanged and
+	// each word equals the lowered word of the original part.
+	lv := strings.ToLower(value)
+	s.parts = appendFields(s.parts[:0], lv, isPartSeparator)
+	for _, part := range s.parts {
+		s.words = appendFields(s.words[:0], part, isWordSeparator)
+		words := s.words
+		if len(words) == 0 {
+			continue
+		}
+		// Pure-numeric words carry weak token-level signal (Section
+		// III-C), so they only feed the tset when a part has nothing
+		// else. Instead of materialising the filtered slice, the rare
+		// scan skips numeric words whenever any non-numeric word
+		// exists — the same candidate sequence filterNonNumeric built.
+		hasNonNum := false
+		for _, w := range words {
+			if !isNumericWord(w) {
+				hasNonNum = true
+				break
+			}
+		}
+		var rare string
+		rareC, started := 0, false
+		for _, w := range words {
+			if hasNonNum && isNumericWord(w) {
+				continue
+			}
+			c := h.Count(w)
+			if !started || c < rareC || (c == rareC && w < rare) {
+				rare, rareC, started = w, c, true
+			}
+		}
+		common, commonC := words[0], h.Count(words[0])
+		for _, w := range words[1:] {
+			c := h.Count(w)
+			if c > commonC || (c == commonC && w < common) {
+				common, commonC = w, c
+			}
+		}
+		s.tset = append(s.tset, rare)
+		s.embed = append(s.embed, common)
+	}
+	return s.tset, s.embed
 }

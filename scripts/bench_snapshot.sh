@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — run the serving-path benchmarks with allocation
+# accounting and write BENCH_PR5.json: a machine-readable snapshot of
+# ns/op, B/op and allocs/op for the TopK / BatchTopK / Query
+# benchmarks, so future PRs have a perf trajectory to diff against
+# (benchstat handles the statistical comparison in CI; this file is
+# the coarse-grained, committable record).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#   COUNT=5       benchmark repetitions averaged into the snapshot
+#   BENCHTIME=2x  per-benchmark -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR5.json}"
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-2x}"
+PATTERN='BenchmarkSequentialTopKLoop$|BenchmarkBatchTopK$|BenchmarkQueryVsTopK|BenchmarkSearchAllocs$|BenchmarkParallelSearch$'
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run='^$' -bench="$PATTERN" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$TMP"
+
+awk -v count="$COUNT" -v goversion="$(go version | awk '{print $3}')" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     { ns[name] += $i;     nns[name]++ }
+      if ($(i+1) == "B/op")      { bop[name] += $i;    nb[name]++ }
+      if ($(i+1) == "allocs/op") { aop[name] += $i;    na[name]++ }
+    }
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_snapshot.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchmarks\": {\n"
+    n = 0
+    for (name in ns) order[++n] = name
+    # deterministic output order
+    for (i = 1; i <= n; i++)
+      for (j = i + 1; j <= n; j++)
+        if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= n; i++) {
+      name = order[i]
+      printf "    \"%s\": {\"ns_op\": %.0f, \"b_op\": %.0f, \"allocs_op\": %.0f}%s\n",
+        name, ns[name]/nns[name], bop[name]/nb[name], aop[name]/na[name],
+        (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+  }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

@@ -422,6 +422,105 @@ func BenchmarkParallelSearch(b *testing.B) {
 	}
 }
 
+// --- Query planner benchmarks ---
+//
+// The planner benchmarks measure the three regimes of the prepared-
+// plan execution path: preparing a plan from nothing on every query
+// (cold), reusing a cached plan (warm — the serving steady state), and
+// the pruning payoff on a skewed lake where most candidate tables are
+// provably outside the top-k. The warm/cold pair bounds the prepare
+// phase's cost; the skewed benchmark's planner-off sub-run is the A/B
+// baseline the cascade has to beat.
+
+// BenchmarkPlannerColdPlan forces a plan-cache miss on every query:
+// the prepare phase (target fingerprinting, cascade construction, LRU
+// insert) is paid each time. The gap to BenchmarkPlannerWarmPlan is
+// the total prepare overhead — nanoseconds against a millisecond-scale
+// ranking, which is what makes planning on by default tenable.
+func BenchmarkPlannerColdPlan(b *testing.B) {
+	engine, targets := benchServingSetup(b, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.ResetPlanCache()
+		if _, err := engine.Query(ctx, targets[i%len(targets)], d3l.WithK(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerWarmPlan is the serving steady state: every target's
+// plan is already cached, so each query runs fingerprint + LRU hit and
+// probes the forests with learned depth hints.
+func BenchmarkPlannerWarmPlan(b *testing.B) {
+	engine, targets := benchServingSetup(b, 1)
+	ctx := context.Background()
+	for _, target := range targets {
+		if _, err := engine.Query(ctx, target, d3l.WithK(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Query(ctx, targets[i%len(targets)], d3l.WithK(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerPrunedSkewed is the pruning-payoff case: a lake of
+// near-duplicate derived tables, targets drawn from the lake, k = 1 —
+// the heap threshold drops to a near-zero distance immediately, so the
+// cascade can elide most tables after their cheapest evidence
+// component. The planner-on sub-run reports pruned-pairs/op (the
+// BENCH_PR6.json gate asserts it stays above zero); the planner-off
+// sub-run is the same workload through the plan-free path.
+func BenchmarkPlannerPrunedSkewed(b *testing.B) {
+	cfg := datagen.SyntheticConfig{
+		Seed:          7,
+		BaseTables:    4,
+		DerivedTables: 160,
+		MinRows:       30,
+		MaxRows:       60,
+		RenameProb:    0.1,
+	}
+	lake, _, err := datagen.Synthetic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := d3l.DefaultOptions()
+	opts.Parallelism = 1
+	opts.CandidateBudget = 96
+	engine, err := d3l.New(lake, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]*d3l.Table, 16)
+	for i := range targets {
+		targets[i] = lake.Table((i * 9) % lake.Len())
+	}
+	ctx := context.Background()
+	b.Run("PlannerOn", func(b *testing.B) {
+		before := engine.PlannerTotals()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Query(ctx, targets[i%len(targets)], d3l.WithK(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		after := engine.PlannerTotals()
+		b.ReportMetric(float64(after.PairsPruned-before.PairsPruned)/float64(b.N), "pruned-pairs/op")
+	})
+	b.Run("PlannerOff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Query(ctx, targets[i%len(targets)], d3l.WithK(1), d3l.WithPlanner(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Snapshot cold-start benchmarks ---
 //
 // BenchmarkColdStartRebuild and BenchmarkLoadSnapshot are the two ways

@@ -78,6 +78,12 @@ type (
 	JoinPath = joins.Path
 	// Evidence identifies one of the five evidence types.
 	Evidence = core.Evidence
+	// PlanStats reports what the prepared-plan execution path did for
+	// one query (see Answer.Plan and WithPlanner).
+	PlanStats = core.PlanStats
+	// PlannerTotals are the engine-lifetime planner counters (plan
+	// cache hits/misses, pruning work elided) — see Engine.PlannerTotals.
+	PlannerTotals = core.PlannerTotals
 )
 
 // ErrTableNotFound reports a lookup of a lake table name that is not
@@ -338,6 +344,20 @@ func (e *Engine) SetParallelism(n int) error {
 // their admission capacity; it is optional — the pools fill themselves
 // after a few queries either way.
 func (e *Engine) PrewarmScratch(n int) { e.core.PrewarmScratch(n) }
+
+// PlannerTotals snapshots the engine-lifetime query-planner counters:
+// prepared-plan cache hits and misses, and the cumulative pruning work
+// (tables pruned, candidate pairs inside them, evidence evaluations
+// elided). The counters accumulate across every query served by this
+// engine; /v1/statsz exposes them for operators.
+func (e *Engine) PlannerTotals() PlannerTotals { return e.core.PlannerTotals() }
+
+// ResetPlanCache drops every prepared plan (the lifetime counters keep
+// accumulating). Benchmarks use it to measure the cold-plan path;
+// operators never need it — plans of a mutated engine become
+// unreachable through the fingerprint in their cache key and age out
+// of the LRU naturally.
+func (e *Engine) ResetPlanCache() { e.core.ResetPlanCache() }
 
 // Fingerprint returns a cheap 64-bit fingerprint of this engine's
 // state: stable across queries, changed by every Add, Remove and

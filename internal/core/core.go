@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrTableNotFound reports a lookup of a lake table name that is not
@@ -98,10 +99,20 @@ func DefaultWeights() Weights {
 	}
 }
 
-// Validate checks weight sanity.
+// Validate checks weight sanity: every weight finite and non-negative,
+// at least one positive. NaN and ±Inf are rejected explicitly — NaN
+// slips past a `v < 0` test (all comparisons with NaN are false) and
+// either would poison the Eq. 3 arithmetic and every cache key derived
+// from the weight bits.
 func (w Weights) Validate() error {
 	var sum float64
 	for i, v := range w {
+		if math.IsNaN(v) {
+			return fmt.Errorf("core: weight %s is NaN", Evidence(i))
+		}
+		if math.IsInf(v, 0) {
+			return fmt.Errorf("core: weight %s is infinite (%v)", Evidence(i), v)
+		}
 		if v < 0 {
 			return fmt.Errorf("core: weight %s is negative (%v)", Evidence(i), v)
 		}

@@ -1,0 +1,10 @@
+//go:build !d3ldebug
+
+package core
+
+// debugAsserts gates the internal invariant assertions. In normal
+// builds it is a compile-time false, so every assertion call site is
+// dead code the compiler deletes — the query hot path pays nothing.
+// Build (or test) with -tags d3ldebug to turn the assertions into
+// panics; see debug_on.go.
+const debugAsserts = false

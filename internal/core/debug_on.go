@@ -1,0 +1,11 @@
+//go:build d3ldebug
+
+package core
+
+// debugAsserts is true under the d3ldebug build tag: internal
+// invariant violations (for example an unsorted Profile.NumExtent
+// reaching a consumer that depends on sorted order) panic at the point
+// of corruption instead of surfacing as silently wrong distances. The
+// tag is for tests and debugging sessions; production builds compile
+// the assertions out (debug_off.go).
+const debugAsserts = true

@@ -85,6 +85,8 @@ func (e *Engine) domainDistance(target, cand, targetSubject, candSubject *Profil
 	// Extents hold the Profile.NumExtent sorted invariant, so the KS
 	// statistic needs no per-pair copy-and-sort — this runs once per
 	// guarded numeric candidate pair on the query hot path.
+	assertSortedExtent(target, "domainDistance(target)")
+	assertSortedExtent(cand, "domainDistance(cand)")
 	ks, err := stats.KolmogorovSmirnovSorted(target.NumExtent, cand.NumExtent)
 	if err != nil {
 		return 1

@@ -46,6 +46,12 @@ type Engine struct {
 	queryScratchPool  sync.Pool // *queryScratch
 	workerScratchPool sync.Pool // *workerScratch
 
+	// planCache holds prepared query plans (see plan.go); planStats
+	// accumulates the engine-lifetime planner counters. Both are
+	// zero-value-ready, like the pools.
+	planCache planCache
+	planStats plannerCounters
+
 	forestN *lsh.Forest
 	forestV *lsh.Forest
 	forestF *lsh.Forest

@@ -33,6 +33,9 @@ func (e *Engine) AddProfiled(t *table.Table, profiles []Profile) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("core: nil table")
 	}
+	for i := range profiles {
+		assertSortedExtent(&profiles[i], "AddProfiled")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	tid, err := e.lake.Add(t)

@@ -345,5 +345,6 @@ func decodeProfile(r *persist.Reader, p *Profile) error {
 	if !sort.Float64sAreSorted(p.NumExtent) {
 		sort.Float64s(p.NumExtent)
 	}
+	assertSortedExtent(p, "decodeProfile")
 	return r.Err()
 }

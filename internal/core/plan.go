@@ -1,0 +1,455 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"d3l/internal/lsh"
+)
+
+// This file implements the prepare half of the query pipeline's
+// prepare/execute split. A prepared plan captures, per (target,
+// engine, option set), the two things worth computing once and
+// reusing:
+//
+//   - the evidence cascade: the enabled evidence types ordered
+//     cheapest-first (name and format signatures before value minhash
+//     before the distribution KS), which is the order the execute
+//     phase aggregates Eq. 1 components in so it can stop — and elide
+//     the remaining, more expensive evaluations — as soon as a
+//     candidate table provably cannot crack the top-k;
+//
+//   - the learned forest probe depths: the stop depth each LSH-forest
+//     descent settled on last time this target was probed, fed back as
+//     the starting hint of the next probe (see lsh.QueryIntoHint), so
+//     a warm plan reaches its candidate set in ~2 prefix collections
+//     per forest instead of a full top-down descent.
+//
+// Both are pure accelerations. The cascade elides only per-table
+// scoring work whose outcome is already decided (the pruning bound is
+// a monotone lower bound on the final Eq. 3 distance, compared
+// strictly against the live top-k threshold with a safety margin, so
+// a pruned table could never have entered the heap); the depth hints
+// shift where the forest's depth search starts, never what it returns.
+// The ranked answer, its per-table distances and the deterministic
+// SearchStats counters are bit-identical with the planner on or off —
+// QuerySpec.DisablePlanner (d3l.WithPlanner(false)) switches back to
+// the plan-free path as an escape hatch and for A/B measurement.
+//
+// Why per-pair distance kernels are NOT elided: the Eq. 2 CCDF
+// weights are built from the distance distributions over *all*
+// gathered pairs, so skipping any pair's distance vector would change
+// every other pair's weight and thus the ranking. Only downstream
+// per-table work (Eq. 1 aggregation and its ECDF lookups, Eq. 3) is
+// prunable without changing answers; the candidate sets themselves
+// are likewise fixed by the budget, which is why the adaptive dial on
+// the gather side is the probe depth, not the candidate count.
+
+// plannerMargin guards the pruning bound against floating-point
+// rounding: the bound's partial sum accumulates in cascade order while
+// combineEq3 accumulates in evidence-index order, so the two can
+// differ by a few ulps. Scaling the bound down by this margin (~1e7×
+// the worst-case relative summation error of five non-negative terms)
+// makes an over-aggressive prune impossible; a missed prune merely
+// costs the work the plan hoped to save.
+const plannerMargin = 1e-9
+
+// planCacheCapacity bounds the prepared-plan LRU. Plans are small
+// (a cascade plus one int32 hint per target column per forest), so the
+// cap is sized for "every distinct live query shape" rather than
+// memory pressure; stale entries from earlier engine fingerprints age
+// out through the same LRU.
+const planCacheCapacity = 256
+
+// Forest slots of a prepared plan's hint array, one per LSH index of
+// Algorithm 1.
+const (
+	forestSlotN = iota
+	forestSlotV
+	forestSlotF
+	forestSlotE
+	numForestSlots
+)
+
+// evidenceCostRank orders evidence types by evaluation cost, the
+// static cost model behind the cascade: name and format evidence come
+// from short signature comparisons, embedding from bit signatures,
+// value minhash from the (larger) token signatures, and the domain KS
+// from a full merge over two numeric extents.
+var evidenceCostRank = [NumEvidence]int{
+	EvidenceName:      0,
+	EvidenceFormat:    1,
+	EvidenceEmbedding: 2,
+	EvidenceValue:     3,
+	EvidenceDomain:    4,
+}
+
+// preparedPlan is one cache entry: immutable cascade, atomic hints.
+// Plans are shared by every concurrent query with the same key, which
+// is safe because the cascade never changes after prepare and the
+// hints are advisory (any value yields the same candidate sets).
+type preparedPlan struct {
+	// cascade lists the enabled evidence types cheapest-first.
+	cascade []Evidence
+	// order is the display form of the cascade ("N→F→V", say), built
+	// once so per-query PlanStats need no allocation.
+	order string
+	// hints[col*numForestSlots+slot] is the last observed probe stop
+	// depth for that (target column, forest), 0 when never probed.
+	hints []atomic.Int32
+}
+
+func (p *preparedPlan) hint(col, slot int) int {
+	return int(p.hints[col*numForestSlots+slot].Load())
+}
+
+func (p *preparedPlan) setHint(col, slot, depth int) {
+	p.hints[col*numForestSlots+slot].Store(int32(depth))
+}
+
+// newPreparedPlan builds the plan for a target arity and resolved
+// option view: cascade from the evidence mask, hints all cold.
+func newPreparedPlan(numCols int, view *specView) *preparedPlan {
+	p := &preparedPlan{
+		cascade: make([]Evidence, 0, NumEvidence),
+		hints:   make([]atomic.Int32, numCols*numForestSlots),
+	}
+	for rank := 0; rank < int(NumEvidence); rank++ {
+		for t := 0; t < int(NumEvidence); t++ {
+			if evidenceCostRank[t] == rank && !view.disabled[t] {
+				p.cascade = append(p.cascade, Evidence(t))
+			}
+		}
+	}
+	var b strings.Builder
+	for i, t := range p.cascade {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		b.WriteString(t.String())
+	}
+	p.order = b.String()
+	return p
+}
+
+// PlanStats reports what the prepared-plan execution path did for one
+// query. All counters are deterministic — the cascade scores candidate
+// tables sequentially in ascending table-id order, so the same query
+// prunes the same tables at any parallelism — and they live outside
+// SearchStats so planner-on and planner-off runs of the same query
+// stay comparable field-for-field.
+type PlanStats struct {
+	// Enabled reports whether the planner ran (false under
+	// DisablePlanner or for engines queried through the legacy path).
+	Enabled bool
+	// Cached reports whether the plan came from the prepared-plan
+	// cache rather than being built for this query.
+	Cached bool
+	// Order is the evidence cascade the query executed, cheapest-first.
+	Order string
+	// TablesPruned counts candidate tables whose scoring stopped early
+	// because their best-attainable Eq. 3 distance could no longer
+	// crack the top-k.
+	TablesPruned int
+	// PairsPruned counts the candidate pairs inside pruned tables —
+	// the pairs whose Eq. 1 aggregation never ran to completion.
+	PairsPruned int
+	// EvidenceEvalsElided counts the per-(table, evidence-type)
+	// aggregation passes the cascade skipped.
+	EvidenceEvalsElided int
+}
+
+// PlannerTotals are the engine-lifetime planner counters, the numbers
+// /v1/statsz exposes. They accumulate atomically across queries.
+type PlannerTotals struct {
+	PlanCacheHits       int64
+	PlanCacheMisses     int64
+	TablesPruned        int64
+	PairsPruned         int64
+	EvidenceEvalsElided int64
+}
+
+// plannerCounters is the atomic backing of PlannerTotals.
+type plannerCounters struct {
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	tablesPruned   atomic.Int64
+	pairsPruned    atomic.Int64
+	evidenceElided atomic.Int64
+}
+
+// PlannerTotals snapshots the engine-lifetime planner counters.
+func (e *Engine) PlannerTotals() PlannerTotals {
+	return PlannerTotals{
+		PlanCacheHits:       e.planStats.cacheHits.Load(),
+		PlanCacheMisses:     e.planStats.cacheMisses.Load(),
+		TablesPruned:        e.planStats.tablesPruned.Load(),
+		PairsPruned:         e.planStats.pairsPruned.Load(),
+		EvidenceEvalsElided: e.planStats.evidenceElided.Load(),
+	}
+}
+
+// planKey identifies a reusable plan: what the target looks like, what
+// engine state it was prepared against (the fingerprint moves on every
+// mutation, so stale plans become unreachable and age out of the LRU),
+// and the plan-shaping options. A targetFP collision is benign — the
+// colliding query would inherit the other target's depth hints, which
+// are advisory, and an identical cascade — so the fingerprint trades
+// cryptographic strength for a hashing pass cheap enough to run on
+// every query.
+type planKey struct {
+	targetFP uint64
+	engineFP uint64
+	optionFP uint64
+}
+
+// profilesFingerprint hashes the target's profiled signatures — the
+// exact inputs of the forest probes the plan's hints accelerate.
+func profilesFingerprint(tprofiles []Profile) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) { h = splitmix64(h ^ v) }
+	mix(uint64(len(tprofiles)))
+	for i := range tprofiles {
+		p := &tprofiles[i]
+		for _, v := range p.QSig {
+			mix(v)
+		}
+		for _, v := range p.TSig {
+			mix(v)
+		}
+		for _, v := range p.RSig {
+			mix(v)
+		}
+		var flags uint64
+		if p.Numeric {
+			flags |= 1
+		}
+		if p.EZero {
+			flags |= 2
+		}
+		if p.Subject {
+			flags |= 4
+		}
+		mix(flags)
+		mix(uint64(len(p.NumExtent)))
+		if n := len(p.NumExtent); n > 0 {
+			mix(math.Float64bits(p.NumExtent[0]))
+			mix(math.Float64bits(p.NumExtent[n-1]))
+		}
+	}
+	return h
+}
+
+// planFingerprint folds the plan-shaping options: the evidence mask
+// (which fixes the cascade and which forests are probed) and the
+// candidate budget (which fixes the probe stop depths). k and the
+// weight vector are deliberately excluded — they parameterise the
+// execute phase, not the plan — so one plan serves the same target at
+// any k and under any weights.
+func (v *specView) planFingerprint() uint64 {
+	var mask uint64
+	for t := 0; t < int(NumEvidence); t++ {
+		if v.disabled[t] {
+			mask |= 1 << uint(t)
+		}
+	}
+	return splitmix64(mask ^ splitmix64(uint64(v.budget)))
+}
+
+// preparePlan returns the prepared plan for this query, from the
+// cache when an equivalent query already prepared one. Callers hold
+// e.mu in read mode, which is what makes e.Fingerprint() stable for
+// the lookup (mutations take the write lock).
+func (e *Engine) preparePlan(tprofiles []Profile, view *specView) (*preparedPlan, bool) {
+	key := planKey{
+		targetFP: profilesFingerprint(tprofiles),
+		engineFP: e.Fingerprint(),
+		optionFP: view.planFingerprint(),
+	}
+	if p := e.planCache.get(key); p != nil {
+		e.planStats.cacheHits.Add(1)
+		return p, true
+	}
+	e.planStats.cacheMisses.Add(1)
+	p := newPreparedPlan(len(tprofiles), view)
+	e.planCache.put(key, p)
+	return p, false
+}
+
+// ResetPlanCache drops every prepared plan (and nothing else: the
+// lifetime counters keep accumulating). Benchmarks use it to measure
+// the cold-plan path; operators never need it — mutation-driven
+// invalidation happens naturally through the engine fingerprint.
+func (e *Engine) ResetPlanCache() {
+	e.planCache.reset()
+}
+
+// probeForest is one forest lookup of the gather phase: the plan-free
+// path runs the forest's full top-down descent (QueryInto); with a
+// plan, the descent is seeded with the stop depth recorded by the last
+// probe of this (target column, forest) and the observed depth is
+// stored back for the next query. The hint is advisory — QueryIntoHint
+// returns the identical candidate set for any hint value — so hint
+// state needs no synchronisation beyond the atomic load/store.
+func probeForest(f *lsh.Forest, sig []uint64, budget int, ids []int32, plan *preparedPlan, col, slot int) []int32 {
+	if plan == nil {
+		ids, _ = f.QueryInto(sig, budget, ids)
+		return ids
+	}
+	ids, depth, err := f.QueryIntoHint(sig, budget, ids, plan.hint(col, slot))
+	if err == nil {
+		plan.setHint(col, slot, depth)
+	}
+	return ids
+}
+
+// rankCascade is the execute phase of a prepared plan: it scores the
+// candidate-table runs sequentially in ascending table-id order,
+// maintains the bounded top-k heap incrementally, and hands each run
+// the heap's live threshold so scoreRunCascade can stop as soon as the
+// table is out of the running. Sequential scoring is what makes the
+// pruning counters deterministic — a parallel scorer would observe the
+// threshold at racy times and prune different tables run to run. The
+// heap evolution replicates selectTopK exactly: a pruned table's final
+// distance provably exceeds the heap root's, so selectTopK would have
+// rejected it too, and every surviving table goes through the same
+// better()/siftDown steps in the same order.
+//
+// Returns the survivors' scored slots and the rank-ordered heap
+// indexes (both arena memory), plus the per-query PlanStats. A
+// cancelled context aborts between runs — same cooperative cadence as
+// the plan-free scorer's worker slots — and returns ctx.Err(), never a
+// partial answer.
+func (e *Engine) rankCascade(ctx context.Context, pairs []candidatePair, runs []tableRun, numCols int, ecdfs *distanceECDFs, view *specView, plan *preparedPlan, qs *queryScratch) ([]scoredTable, []int32, PlanStats, error) {
+	ps := PlanStats{Enabled: true, Order: plan.order}
+	scored := qs.scored[:0]
+	h := qs.top[:0]
+	ws := e.getWorkerScratch()
+	defer e.putWorkerScratch(ws)
+	for ri, run := range runs {
+		if ri%candidateBatch == 0 && ctx.Err() != nil {
+			qs.scored, qs.top = scored, h
+			return nil, nil, ps, ctx.Err()
+		}
+		tablePairs := pairs[run.start:run.end]
+		threshold := math.Inf(1)
+		if len(h) == view.k {
+			threshold = scored[h[0]].dist
+		}
+		dist, vec, elided := e.scoreRunCascade(tablePairs, numCols, ecdfs, view, plan, threshold, ws)
+		if elided > 0 {
+			ps.TablesPruned++
+			ps.PairsPruned += len(tablePairs)
+			ps.EvidenceEvalsElided += elided
+			continue
+		}
+		scored = append(scored, scoredTable{
+			tid:   run.tid,
+			start: run.start,
+			end:   run.end,
+			dist:  dist,
+			name:  e.lake.Table(run.tid).Name,
+			vec:   vec,
+		})
+		idx := int32(len(scored) - 1)
+		if len(h) < view.k {
+			h = append(h, idx)
+			siftUp(scored, h, len(h)-1)
+		} else if better(&scored[idx], &scored[h[0]]) {
+			h[0] = idx
+			siftDown(scored, h, 0)
+		}
+	}
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(scored, h[:end], 0)
+	}
+	qs.scored, qs.top = scored, h
+	e.planStats.tablesPruned.Add(int64(ps.TablesPruned))
+	e.planStats.pairsPruned.Add(int64(ps.PairsPruned))
+	e.planStats.evidenceElided.Add(int64(ps.EvidenceEvalsElided))
+	return scored, h, ps, nil
+}
+
+// scoreRunCascade scores one candidate table like scoreRun, but
+// aggregates the Eq. 1 components in the plan's cascade order and
+// prunes against threshold: between components it lower-bounds the
+// final Eq. 3 distance by treating every not-yet-aggregated component
+// as 0 (its best case), and once even that bound strictly exceeds the
+// threshold the remaining evaluations are elided — the table cannot
+// displace any heap entry, ties included, because its true distance is
+// strictly worse than the root's.
+//
+// For survivors the result is float-identical to scoreRun: each
+// component is computed by the same ascending-column accumulation, and
+// the final distance comes from combineEq3 over the full vector (never
+// from the cascade's partial sums, whose summation order differs).
+// elided > 0 marks a pruned table; survivors return elided == 0.
+func (e *Engine) scoreRunCascade(tablePairs []candidatePair, numCols int, ecdfs *distanceECDFs, view *specView, plan *preparedPlan, threshold float64, ws *workerScratch) (float64, DistanceVector, int) {
+	best, mark, epoch, aligned := selectBestPairs(tablePairs, numCols, ws)
+	// Eq. 3 normalisation constants, accumulated exactly as combineEq3
+	// does (index order), so the bound and the final reduction divide
+	// by the same floats.
+	var den, max float64
+	for t := 0; t < int(NumEvidence); t++ {
+		w := view.weights[t]
+		if view.disabled[t] {
+			w = 0
+		}
+		den += w
+		max += w * w
+	}
+	// den == 0 (every enabled type has zero weight) makes combineEq3
+	// return 1 for every table: nothing to prune, rank on names alone.
+	prunable := den > 0 && max > 0 && !math.IsInf(threshold, 1)
+	var vec DistanceVector
+	for t := 0; t < int(NumEvidence); t++ {
+		if view.disabled[t] {
+			vec[t] = 1
+		}
+	}
+	var partial float64 // Σ (w_t·vec_t)² over aggregated components
+	for i, t := range plan.cascade {
+		// Bound check before aggregating component i, over the i
+		// components already in partial — so a prune always elides at
+		// least this component's evaluation (a "prune" after the last
+		// component would save nothing and is skipped).
+		if prunable && i > 0 {
+			bound := math.Sqrt(partial/den) / math.Sqrt(max/den)
+			if bound > 1 {
+				bound = 1
+			}
+			bound *= 1 - plannerMargin
+			if bound > threshold {
+				return 0, vec, len(plan.cascade) - i
+			}
+		}
+		var num, dsum float64
+		for c := 0; c < numCols; c++ {
+			if mark[c] != epoch {
+				continue
+			}
+			d := tablePairs[best[c]].dist[t]
+			w := ecdfs.weight(c, t, d)
+			num += w * d
+			dsum += w
+		}
+		if dsum == 0 {
+			for c := 0; c < numCols; c++ {
+				if mark[c] == epoch {
+					num += tablePairs[best[c]].dist[t]
+				}
+			}
+			vec[t] = num / float64(aligned)
+		} else {
+			vec[t] = num / dsum
+		}
+		if prunable {
+			w := view.weights[t]
+			partial += (w * vec[t]) * (w * vec[t])
+		}
+	}
+	return combineEq3(view.weights, view.disabled, vec), vec, 0
+}

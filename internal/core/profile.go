@@ -41,8 +41,23 @@ type Profile struct {
 	// Invariant: sorted ascending. The KS statistic is the only
 	// consumer and needs sorted samples anyway, so sorting once here
 	// (and once after snapshot decode) makes every guarded domain
-	// distance on the query hot path allocation-free.
+	// distance on the query hot path allocation-free. d3ldebug builds
+	// assert the invariant at every producer and consumer boundary —
+	// see assertSortedExtent.
 	NumExtent []float64
+}
+
+// assertSortedExtent panics under the d3ldebug build tag when a
+// profile's NumExtent violates the sorted-ascending invariant, naming
+// the boundary that observed the corruption. In normal builds
+// debugAsserts is a compile-time false and the whole call is deleted.
+// Guarded boundaries: profileColumn (producer), decodeProfile
+// (snapshot ingest, which re-sorts first), AddProfiled (profiles
+// handed in by callers) and domainDistance (the KS consumer).
+func assertSortedExtent(p *Profile, site string) {
+	if debugAsserts && !sort.Float64sAreSorted(p.NumExtent) {
+		panic("core: " + site + ": Profile " + p.Name + " NumExtent violates the sorted-ascending invariant")
+	}
 }
 
 // profiler bundles the shared hash machinery.
@@ -127,6 +142,7 @@ func (p *profiler) profileColumn(ref AttrRef, col *table.Column, scratch *profil
 			sort.Float64s(sorted)
 			prof.NumExtent = sorted
 		}
+		assertSortedExtent(&prof, "profileColumn")
 		return prof
 	}
 

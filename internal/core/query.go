@@ -53,6 +53,10 @@ type SearchResult struct {
 	TargetSubject  *Profile // nil when the target has no subject attr
 	Ranked         []TableResult
 	Stats          SearchStats
+	// Plan reports what the prepared-plan execution path did (zero
+	// when the planner was disabled). It lives outside Stats so
+	// planner-on and planner-off runs stay comparable on Stats alone.
+	Plan PlanStats
 }
 
 // TopK returns the k most related tables of the lake for the target.
@@ -188,10 +192,19 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 	qs := e.getQueryScratch()
 	defer e.putQueryScratch(qs)
 
+	// Phase 0 (planner only): prepare — or fetch from the plan cache —
+	// the evidence cascade and the forest depth hints for this
+	// (target, engine, options) shape.
+	var plan *preparedPlan
+	var planCached bool
+	if view.planner {
+		plan, planCached = e.preparePlan(tprofiles, &view)
+	}
+
 	// Phase 1: per target attribute, gather candidates from the four
 	// indexes and compute pair distances. Columns are independent, so
 	// they fan out across the pool, each into its own arena buffer.
-	pairs, err := e.gatherPairs(ctx, tprofiles, tsubject, view, parallelism, qs)
+	pairs, err := e.gatherPairs(ctx, tprofiles, tsubject, view, parallelism, qs, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -207,40 +220,59 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 
 	// Phase 3: group by candidate table — one sort of the pair list by
 	// (table, attribute) plus contiguous-run slicing, in place of the
-	// old byTable map — then score tables independently across the
-	// pool. The slot-per-run layout keeps output order independent of
-	// worker timing.
+	// old byTable map — then score. The planner path scores
+	// sequentially in ascending table-id order so the evidence cascade
+	// can prune against the live top-k threshold (and so the pruning
+	// counters are deterministic); the plan-free path scores tables
+	// independently across the pool into slot-per-run layout, keeping
+	// output order independent of worker timing. Both produce the same
+	// (Distance, Name)-ordered winners.
 	qs.runs = groupPairsByTable(pairs, qs.runs)
 	runs := qs.runs
-	if cap(qs.scored) < len(runs) {
-		qs.scored = make([]scoredTable, len(runs))
-	}
-	scored := qs.scored[:len(runs)]
-	if err := forEachIndexCtx(ctx, len(runs), parallelism, func(i int) {
-		run := runs[i]
-		tablePairs := pairs[run.start:run.end]
-		dist, vec := e.scoreRun(tablePairs, len(tprofiles), ecdfs, &view)
-		scored[i] = scoredTable{
-			tid:   run.tid,
-			start: run.start,
-			end:   run.end,
-			dist:  dist,
-			name:  e.lake.Table(run.tid).Name,
-			vec:   vec,
+	var scored []scoredTable
+	var top []int32
+	var planStats PlanStats
+	if plan != nil {
+		scored, top, planStats, err = e.rankCascade(ctx, pairs, runs, len(tprofiles), ecdfs, &view, plan, qs)
+		if err != nil {
+			return nil, err
 		}
-	}); err != nil {
-		return nil, err
+		planStats.Cached = planCached
+	} else {
+		if cap(qs.scored) < len(runs) {
+			qs.scored = make([]scoredTable, len(runs))
+		}
+		scored = qs.scored[:len(runs)]
+		if err := forEachIndexCtx(ctx, len(runs), parallelism, func(i int) {
+			run := runs[i]
+			tablePairs := pairs[run.start:run.end]
+			dist, vec := e.scoreRun(tablePairs, len(tprofiles), ecdfs, &view)
+			scored[i] = scoredTable{
+				tid:   run.tid,
+				start: run.start,
+				end:   run.end,
+				dist:  dist,
+				name:  e.lake.Table(run.tid).Name,
+				vec:   vec,
+			}
+		}); err != nil {
+			return nil, err
+		}
+
+		// Ranking: bounded top-k selection over the scored slots
+		// instead of a full sort — same (Distance, Name) order, only k
+		// survivors. (The planner path maintains the same heap
+		// incrementally inside rankCascade.)
+		qs.top = selectTopK(scored, view.k, qs.top)
+		top = qs.top
 	}
 
-	// Ranking: bounded top-k selection over the scored slots instead
-	// of a full sort — same (Distance, Name) order, only k survivors.
 	// Alignment rows are materialised for the winners alone; the old
 	// pipeline built them for every scored table and then threw all
 	// but k away.
-	qs.top = selectTopK(scored, view.k, qs.top)
 	ws := e.getWorkerScratch()
-	results := make([]TableResult, len(qs.top))
-	for i, idx := range qs.top {
+	results := make([]TableResult, len(top))
+	for i, idx := range top {
 		st := &scored[idx]
 		results[i] = TableResult{
 			TableID:    st.tid,
@@ -260,6 +292,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 			CandidatePairs: len(pairs),
 			TablesScored:   len(runs),
 		},
+		Plan: planStats,
 	}, nil
 }
 
@@ -373,11 +406,11 @@ func (e *Engine) search(target *table.Table, k, parallelism int) (*SearchResult,
 // columns and between candidate batches inside each column. Callers
 // must hold e.mu. The returned slice is arena memory, valid until the
 // arena is recycled.
-func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject *Profile, view specView, parallelism int, qs *queryScratch) ([]candidatePair, error) {
+func (e *Engine) gatherPairs(ctx context.Context, tprofiles []Profile, tsubject *Profile, view specView, parallelism int, qs *queryScratch, plan *preparedPlan) ([]candidatePair, error) {
 	n := len(tprofiles)
 	qs.ensureCols(n)
 	if err := forEachIndexCtx(ctx, n, parallelism, func(col int) {
-		qs.colBufs[col] = e.gatherColumn(ctx, col, &tprofiles[col], tsubject, view, qs.colBufs[col])
+		qs.colBufs[col] = e.gatherColumn(ctx, col, &tprofiles[col], tsubject, view, qs.colBufs[col], plan)
 	}); err != nil {
 		return nil, err
 	}
@@ -404,25 +437,29 @@ const candidateBatch = 64
 // cancelled context truncates the work; the caller discards the
 // partial result (gatherPairs returns ctx.Err()), so truncation is
 // never observable in an answer.
-func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubject *Profile, view specView, dst []candidatePair) []candidatePair {
+func (e *Engine) gatherColumn(ctx context.Context, col int, tp *Profile, tsubject *Profile, view specView, dst []candidatePair, plan *preparedPlan) []candidatePair {
 	dst = dst[:0]
 	ws := e.getWorkerScratch()
 	defer e.putWorkerScratch(ws)
-	// Each QueryInto appends its forest's (sorted, distinct) candidate
-	// region; regions from different forests may overlap.
+	// Each probe appends its forest's (sorted, distinct) candidate
+	// region; regions from different forests may overlap. With a plan,
+	// the probe descent is seeded with the stop depth the same
+	// (target, forest) probe settled on last time — same candidate
+	// set, fewer prefix collections — and the observed depth is fed
+	// back for the next query.
 	ids := ws.ids[:0]
 	if !view.disabled[EvidenceName] {
-		ids, _ = e.forestN.QueryInto(tp.QSig, view.budget, ids)
+		ids = probeForest(e.forestN, tp.QSig, view.budget, ids, plan, col, forestSlotN)
 	}
 	if !view.disabled[EvidenceValue] && !tp.Numeric {
-		ids, _ = e.forestV.QueryInto(tp.TSig, view.budget, ids)
+		ids = probeForest(e.forestV, tp.TSig, view.budget, ids, plan, col, forestSlotV)
 	}
 	if !view.disabled[EvidenceFormat] {
-		ids, _ = e.forestF.QueryInto(tp.RSig, view.budget, ids)
+		ids = probeForest(e.forestF, tp.RSig, view.budget, ids, plan, col, forestSlotF)
 	}
 	if !view.disabled[EvidenceEmbedding] && !tp.EZero {
 		ws.evals = tp.ESig.HashValuesInto(ws.evals[:0])
-		ids, _ = e.forestE.QueryInto(ws.evals, view.budget, ids)
+		ids = probeForest(e.forestE, ws.evals, view.budget, ids, plan, col, forestSlotE)
 	}
 	ws.ids = ids
 	// Cross-forest dedup: stamp each attribute id on first sight, then

@@ -157,7 +157,10 @@ func refLake(t testing.TB, seed uint64) *table.Lake {
 }
 
 // assertEquivalent compares the optimized pipeline's answer for one
-// spec against the naive reference, field by field.
+// spec against the naive reference, field by field — and, unless the
+// spec already opts out, re-runs the same spec with the planner
+// disabled and requires the two execution paths (evidence cascade with
+// pruning vs plan-free parallel scoring) to agree with each other too.
 func assertEquivalent(t *testing.T, e *Engine, target *table.Table, spec QuerySpec, label string) {
 	t.Helper()
 	got, err := e.SearchSpec(context.Background(), target, spec)
@@ -167,6 +170,26 @@ func assertEquivalent(t *testing.T, e *Engine, target *table.Table, spec QuerySp
 	want, err := naiveSearchSpec(e, target, spec)
 	if err != nil {
 		t.Fatalf("%s: naive: %v", label, err)
+	}
+	if !spec.DisablePlanner {
+		if !got.Plan.Enabled {
+			t.Fatalf("%s: planner did not run on the default path", label)
+		}
+		off := spec
+		off.DisablePlanner = true
+		noPlan, err := e.SearchSpec(context.Background(), target, off)
+		if err != nil {
+			t.Fatalf("%s: SearchSpec (planner off): %v", label, err)
+		}
+		if noPlan.Plan.Enabled {
+			t.Fatalf("%s: DisablePlanner did not disable the planner", label)
+		}
+		if noPlan.Stats != got.Stats {
+			t.Fatalf("%s: planner on/off stats diverge: %+v vs %+v", label, got.Stats, noPlan.Stats)
+		}
+		if !reflect.DeepEqual(got.Ranked, noPlan.Ranked) {
+			t.Fatalf("%s: planner on/off answers diverge", label)
+		}
 	}
 	if got.Stats != want.Stats {
 		t.Fatalf("%s: stats diverge: got %+v want %+v", label, got.Stats, want.Stats)

@@ -30,6 +30,13 @@ type QuerySpec struct {
 	// Parallelism bounds this query's worker fan-out; 0 selects the
 	// engine setting. Rankings are identical at any value.
 	Parallelism int
+	// DisablePlanner turns off the prepared-plan execution path — the
+	// evidence cascade with bound-based pruning and the forest depth
+	// hints (see plan.go) — and runs the plan-free pipeline instead.
+	// The answer is bit-identical either way (the planner only elides
+	// work whose outcome is already decided); this is the escape hatch
+	// and the A/B switch. The zero value keeps the planner on.
+	DisablePlanner bool
 }
 
 // specView is a QuerySpec resolved against an engine's options: the
@@ -43,6 +50,7 @@ type specView struct {
 	disabled [NumEvidence]bool
 	weights  Weights
 	uniform  bool
+	planner  bool
 }
 
 // resolve validates the spec and merges it with the engine options.
@@ -52,6 +60,7 @@ func (e *Engine) resolve(spec QuerySpec) (specView, error) {
 		disabled: e.opts.Disabled,
 		weights:  e.opts.Weights,
 		uniform:  e.opts.UniformEq1Weights,
+		planner:  !spec.DisablePlanner,
 	}
 	if spec.K <= 0 {
 		return v, fmt.Errorf("core: k must be positive, got %d", spec.K)

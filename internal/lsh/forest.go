@@ -314,6 +314,105 @@ func (f *Forest) QueryInto(sig []uint64, minResults int, dst []int32) ([]int32, 
 	return dst, nil
 }
 
+// QueryIntoHint is QueryInto seeded with a starting-depth hint — the
+// selectivity-feedback probe the query planner uses. The candidate set
+// QueryInto returns is collect(d*), where collect(d) is the sorted
+// distinct union of the per-tree prefix ranges at depth d and d* is
+// the largest depth with at least minResults distinct candidates (or 1
+// when no depth reaches minResults): prefix nesting makes collect(d)
+// monotone, so descending from the longest prefix and stopping at the
+// first depth that satisfies the budget lands exactly on d*. A caller
+// that remembers d* from an earlier identical probe can hand it back
+// as hint: the probe then verifies the hint (one collect, plus one
+// more at hint+1 to confirm maximality) and walks up or down only when
+// the forest has changed underneath it — typically two collects
+// instead of the hashesPerTree−d*+1 of the blind descent. The returned
+// stop depth is the observed d*, the value to remember for next time.
+//
+// The hint is advisory only: for ANY hint value (including stale or
+// garbage ones, clamped into range; hint <= 0 selects the blind
+// descent) the returned candidate set is identical to QueryInto's —
+// the hint shifts where the depth search starts, never what it
+// returns — so sharing hints across concurrent probes is safe without
+// synchronisation.
+func (f *Forest) QueryIntoHint(sig []uint64, minResults int, dst []int32, hint int) ([]int32, int, error) {
+	if !f.indexed {
+		return dst, 0, fmt.Errorf("lsh: Query before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return dst, 0, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	if minResults <= 0 {
+		minResults = 1
+	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
+	base := len(dst)
+	// collect gathers the distinct candidate set at one depth into
+	// dst[base:], returning the extended slice and the distinct count.
+	collect := func(depth int) ([]int32, int) {
+		dst = dst[:base]
+		for t := 0; t < f.numTrees; t++ {
+			tree := &f.trees[t]
+			f.keyInto(key, t, sig)
+			lo, hi := f.prefixRange(tree, key, depth)
+			dst = append(dst, tree.ids[lo:hi]...)
+		}
+		region := dst[base:]
+		slices.Sort(region)
+		region = slices.Compact(region)
+		dst = dst[:base+len(region)]
+		return dst, len(region)
+	}
+	if hint <= 0 || hint > f.hashesPerTree {
+		// No usable hint: the blind top-down descent, stopping at the
+		// first (largest) depth that meets the budget.
+		for depth := f.hashesPerTree; ; depth-- {
+			var n int
+			dst, n = collect(depth)
+			if n >= minResults || depth == 1 {
+				return dst, depth, nil
+			}
+		}
+	}
+	// countAt probes the distinct count at one depth in dst's spare
+	// tail without clobbering dst[base:len(dst)], so the depth search
+	// never has to re-collect a set it already holds.
+	countAt := func(depth int) int {
+		mark := len(dst)
+		tail := dst
+		for t := 0; t < f.numTrees; t++ {
+			tree := &f.trees[t]
+			f.keyInto(key, t, sig)
+			lo, hi := f.prefixRange(tree, key, depth)
+			tail = append(tail, tree.ids[lo:hi]...)
+		}
+		region := tail[mark:]
+		slices.Sort(region)
+		n := len(slices.Compact(region))
+		dst = tail[:mark]
+		return n
+	}
+	d := hint
+	n := countAt(d)
+	if n >= minResults {
+		// d satisfies the budget; walk up while the next-longer prefix
+		// does too, stopping at the maximal satisfying depth — exactly
+		// where the blind descent stops first.
+		for d < f.hashesPerTree && countAt(d+1) >= minResults {
+			d++
+		}
+	} else {
+		// d is too deep; walk down until the budget is met or depth 1.
+		for d > 1 && n < minResults {
+			d--
+			n = countAt(d)
+		}
+	}
+	dst, _ = collect(d)
+	return dst, d, nil
+}
+
 // QueryMinDepth returns all items sharing at least depth leading hash
 // values with the query in some tree. This is the fixed-threshold lookup
 // D3L's join-path guards use (membership test, Algorithm 2 and 3).

@@ -1,0 +1,126 @@
+package lsh
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestQueryIntoHintMatchesQueryInto pins the planner's safety contract
+// on the hinted probe: for EVERY hint value — in range, zero, negative,
+// past hashesPerTree — QueryIntoHint must return exactly QueryInto's
+// candidate set, and the stop depth it reports must be the one the
+// blind descent lands on. The hint may only shift where the depth
+// search starts, never what it returns.
+func TestQueryIntoHintMatchesQueryInto(t *testing.T) {
+	f, sigs := randomForest(t, 7, 120)
+	var want, got []int32
+	for i, sig := range sigs {
+		for _, minResults := range []int{0, 1, 5, 40, 1000} {
+			var err error
+			want, err = f.QueryInto(sig, minResults, want[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The blind descent's stop depth is the reference d*.
+			_, dstar, err := f.QueryIntoHint(sig, minResults, got[:0], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dstar < 1 || dstar > f.hashesPerTree {
+				t.Fatalf("sig %d minResults %d: stop depth %d out of [1,%d]",
+					i, minResults, dstar, f.hashesPerTree)
+			}
+			hints := []int{-3, 0, 1, dstar - 1, dstar, dstar + 1, f.hashesPerTree, f.hashesPerTree + 9}
+			for _, hint := range hints {
+				var depth int
+				got, depth, err = f.QueryIntoHint(sig, minResults, got[:0], hint)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("sig %d minResults %d hint %d: candidate set differs from QueryInto (%d vs %d ids)",
+						i, minResults, hint, len(got), len(want))
+				}
+				if depth != dstar {
+					t.Fatalf("sig %d minResults %d hint %d: stop depth %d, blind descent found %d",
+						i, minResults, hint, depth, dstar)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryIntoHintSurvivesMutation feeds stale depths — remembered
+// from before Insert/Delete churn changed the forest underneath them —
+// back as hints, the exact regime the plan cache creates when hints
+// outlive the candidate distribution they were learned from. The
+// answer must still match a fresh blind probe.
+func TestQueryIntoHintSurvivesMutation(t *testing.T) {
+	f, sigs := randomForest(t, 8, 100)
+	// Remember each signature's stop depth at the pre-churn state.
+	stale := make([]int, len(sigs))
+	for i, sig := range sigs {
+		_, d, err := f.QueryIntoHint(sig, 10, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale[i] = d
+	}
+	// Churn: delete a third of the items, re-insert a few under new ids.
+	for i := 0; i < len(sigs); i += 3 {
+		if ok, err := f.Delete(int32(i), sigs[i]); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := f.Insert(int32(1000+i), sigs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want, got []int32
+	for i, sig := range sigs {
+		for _, minResults := range []int{1, 10, 60} {
+			var err error
+			want, err = f.QueryInto(sig, minResults, want[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var depth int
+			got, depth, err = f.QueryIntoHint(sig, minResults, got[:0], stale[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("sig %d minResults %d stale hint %d: set differs after churn", i, minResults, stale[i])
+			}
+			// The observed depth must round-trip: hinting with it again
+			// reproduces both the set and the depth.
+			again, d2, err := f.QueryIntoHint(sig, minResults, nil, depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d2 != depth || !slices.Equal(again, want) {
+				t.Fatalf("sig %d minResults %d: depth %d did not round-trip (got %d)", i, minResults, depth, d2)
+			}
+		}
+	}
+}
+
+// TestQueryIntoHintAllocs pins the warm-path allocation contract: a
+// hinted probe into a warmed buffer allocates nothing, like QueryInto.
+func TestQueryIntoHintAllocs(t *testing.T) {
+	f, sigs := randomForest(t, 9, 200)
+	buf := make([]int32, 0, 4096)
+	var hint int
+	buf, hint, _ = f.QueryIntoHint(sigs[0], 50, buf[:0], 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, hint, err = f.QueryIntoHint(sigs[0], 50, buf[:0], hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hinted probe allocates %.1f per run into a warmed buffer, want 0", allocs)
+	}
+}

@@ -29,7 +29,7 @@ func decodeEnvelope(t *testing.T, body []byte) string {
 func TestServeErrorPaths(t *testing.T) {
 	_, hs := newTestServer(t, figure1Engine(t), Config{MaxBodyBytes: 4096})
 	valid := func(k int) []byte {
-		b, err := json.Marshal(TopKRequest{Table: figure1TargetJSON(), K: k})
+		b, err := json.Marshal(TopKRequest{Table: figure1TargetJSON(), K: kptr(k)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +41,7 @@ func TestServeErrorPaths(t *testing.T) {
 			Columns: []string{"c"},
 			Rows:    [][]string{{strings.Repeat("x", 8192)}},
 		},
-		K: 1,
+		K: kptr(1),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func mustAddBody(t *testing.T, name string) []byte {
 // records it.
 func TestServeTimeoutExceeded(t *testing.T) {
 	srv, hs := newTestServer(t, figure1Engine(t), Config{RequestTimeout: time.Nanosecond})
-	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 3})
+	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(3)})
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503 (%s)", status, body)
 	}
@@ -143,7 +143,7 @@ func TestServeOverloadedAnswers429(t *testing.T) {
 	}
 	defer close(release)
 
-	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 3})
+	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(3)})
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429 (%s)", status, body)
 	}
@@ -176,7 +176,7 @@ func TestServeAdmissionWaitRidesOutBursts(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		close(release)
 	}()
-	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 3})
+	status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(3)})
 	if status != http.StatusOK {
 		t.Fatalf("status %d, want 200 after slot freed (%s)", status, body)
 	}
@@ -212,7 +212,7 @@ func TestServeShutdownRejectsNewWork(t *testing.T) {
 
 func mustTopKBody(t *testing.T, k int) []byte {
 	t.Helper()
-	b, err := json.Marshal(TopKRequest{Table: figure1TargetJSON(), K: k})
+	b, err := json.Marshal(TopKRequest{Table: figure1TargetJSON(), K: kptr(k)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestServePanicFailsOneRequest(t *testing.T) {
 		t.Fatalf("envelope code %q, want %q", code, CodeInternal)
 	}
 	// The process survived: a normal request still works.
-	if status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 2}); status != http.StatusOK {
+	if status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(2)}); status != http.StatusOK {
 		t.Fatalf("follow-up query: %d %s", status, body)
 	}
 	// Mutations take the admitMutation path; a panic there must also
@@ -346,7 +346,7 @@ func TestServeReloadBadSnapshot(t *testing.T) {
 		t.Fatalf("envelope code %q, want %q", code, CodeUnavailable)
 	}
 	// Old engine still serves.
-	if status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 2}); status != http.StatusOK {
+	if status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(2)}); status != http.StatusOK {
 		t.Fatalf("query after failed reload: status %d (%s)", status, body)
 	}
 }

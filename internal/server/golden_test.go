@@ -239,7 +239,7 @@ func TestGoldenTopK(t *testing.T) {
 			}
 			direct := marshalTopK(t, w.engineCSV, tbl)
 			snapLoaded := marshalTopK(t, w.engineSnap, tbl)
-			status, httpBody := postJSON(t, w.baseURL+"/v1/topk", TopKRequest{Table: target, K: goldenK})
+			status, httpBody := postJSON(t, w.baseURL+"/v1/topk", TopKRequest{Table: target, K: kptr(goldenK)})
 			if status != http.StatusOK {
 				t.Fatalf("status %d: %s", status, httpBody)
 			}
@@ -261,7 +261,7 @@ func TestGoldenBatch(t *testing.T) {
 	}
 	direct := marshalBatch(t, w.engineCSV, tables)
 	snapLoaded := marshalBatch(t, w.engineSnap, tables)
-	status, httpBody := postJSON(t, w.baseURL+"/v1/batch", BatchRequest{Tables: w.targets, K: goldenK})
+	status, httpBody := postJSON(t, w.baseURL+"/v1/batch", BatchRequest{Tables: w.targets, K: kptr(goldenK)})
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, httpBody)
 	}
@@ -281,7 +281,7 @@ func TestGoldenJoins(t *testing.T) {
 			}
 			direct := marshalJoins(t, w.engineCSV, tbl)
 			snapLoaded := marshalJoins(t, w.engineSnap, tbl)
-			status, httpBody := postJSON(t, w.baseURL+"/v1/joins", TopKRequest{Table: target, K: goldenK})
+			status, httpBody := postJSON(t, w.baseURL+"/v1/joins", TopKRequest{Table: target, K: kptr(goldenK)})
 			if status != http.StatusOK {
 				t.Fatalf("status %d: %s", status, httpBody)
 			}

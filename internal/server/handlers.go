@@ -178,8 +178,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.K <= 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+	k, err := requireK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	target, err := req.Table.toTable()
@@ -188,8 +189,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
-		ans, err := eng.Query(ctx, target, d3l.WithK(req.K))
+	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, k, &req.Table), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, d3l.WithK(k))
 		if err != nil {
 			return nil, err
 		}
@@ -202,8 +203,9 @@ func (s *Server) handleJoins(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.K <= 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+	k, err := requireK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	target, err := req.Table.toTable()
@@ -212,8 +214,8 @@ func (s *Server) handleJoins(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
-		ans, err := eng.Query(ctx, target, d3l.WithK(req.K), d3l.WithJoins())
+	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, k, &req.Table), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, d3l.WithK(k), d3l.WithJoins())
 		if err != nil {
 			return nil, err
 		}
@@ -226,8 +228,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.K <= 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "k must be positive")
+	k, err := requireK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if len(req.Tables) == 0 {
@@ -245,8 +248,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		targets[i] = t
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, &req), func(ctx context.Context) ([]byte, error) {
-		answers, err := eng.QueryBatch(ctx, targets, d3l.WithK(req.K))
+	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, k, &req), func(ctx context.Context) ([]byte, error) {
+		answers, err := eng.QueryBatch(ctx, targets, d3l.WithK(k))
 		if err != nil {
 			return nil, err
 		}
@@ -412,6 +415,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	eng := s.Engine()
+	pt := eng.PlannerTotals()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		EngineFingerprint: fmt.Sprintf("%016x", eng.Fingerprint()),
 		Tables:            eng.NumTables(),
@@ -428,6 +432,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Canceled:          s.stats.canceled.Load(),
 		Mutations:         s.stats.mutations.Load(),
 		Reloads:           s.stats.reloads.Load(),
+
+		PlanCacheHits:       pt.PlanCacheHits,
+		PlanCacheMisses:     pt.PlanCacheMisses,
+		TablesPruned:        pt.TablesPruned,
+		PairsPruned:         pt.PairsPruned,
+		EvidenceEvalsElided: pt.EvidenceEvalsElided,
 	})
 }
 

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestKValidationMatrix pins the unified k-validation contract across
+// every ranking endpoint: /v1/topk, /v1/joins and /v1/batch answer an
+// omitted, zero or negative k with the same 400 envelope —
+// byte-identical across endpoints, message telling the three apart.
+// /v1/query deliberately differs (absent k selects the default, k 0 is
+// valid for explanation-only queries) and is pinned separately below.
+func TestKValidationMatrix(t *testing.T) {
+	_, hs := newTestServer(t, figure1Engine(t), Config{})
+	target, err := json.Marshal(figure1TargetJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(path, kField string) []byte {
+		if path == "/v1/batch" {
+			return []byte(fmt.Sprintf(`{"tables":[%s]%s}`, target, kField))
+		}
+		return []byte(fmt.Sprintf(`{"table":%s%s}`, target, kField))
+	}
+	endpoints := []string{"/v1/topk", "/v1/joins", "/v1/batch"}
+	cases := []struct {
+		name    string
+		kField  string // appended verbatim to the JSON body
+		wantMsg string
+	}{
+		{"omitted k", ``, "k is required and must be positive"},
+		{"zero k", `,"k":0`, "k must be positive, got 0"},
+		{"negative k", `,"k":-3`, "k must be positive, got -3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var first []byte
+			for _, ep := range endpoints {
+				status, resp := doRequest(t, http.MethodPost, hs.URL+ep, body(ep, tc.kField))
+				if status != http.StatusBadRequest {
+					t.Fatalf("%s: status %d, want 400: %s", ep, status, resp)
+				}
+				var env ErrorBody
+				if err := json.Unmarshal(resp, &env); err != nil {
+					t.Fatalf("%s: not the error envelope: %s", ep, resp)
+				}
+				if env.Error.Code != CodeBadRequest {
+					t.Fatalf("%s: code %q, want %q", ep, env.Error.Code, CodeBadRequest)
+				}
+				if env.Error.Message != tc.wantMsg {
+					t.Fatalf("%s: message %q, want %q", ep, env.Error.Message, tc.wantMsg)
+				}
+				if first == nil {
+					first = resp
+				} else if string(resp) != string(first) {
+					t.Fatalf("%s envelope diverged from %s:\n%s\n%s", ep, endpoints[0], resp, first)
+				}
+			}
+		})
+	}
+}
+
+// TestKValidationQueryEndpoint pins /v1/query's intentionally looser
+// rules next to the matrix above: absent k runs with the default,
+// zero k without an explanation target is a 400, and negative k is a
+// 400 whose message matches the ranking endpoints' negative-k row.
+func TestKValidationQueryEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, figure1Engine(t), Config{})
+	target, err := json.Marshal(figure1TargetJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(kField string) (int, []byte) {
+		return doRequest(t, http.MethodPost, hs.URL+"/v1/query",
+			[]byte(fmt.Sprintf(`{"table":%s%s}`, target, kField)))
+	}
+	if status, resp := post(``); status != http.StatusOK {
+		t.Fatalf("absent k: status %d, want 200: %s", status, resp)
+	}
+	if status, resp := post(`,"k":0`); status != http.StatusBadRequest {
+		t.Fatalf("zero k without explainFor: status %d, want 400: %s", status, resp)
+	}
+	status, resp := post(`,"k":-3`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative k: status %d, want 400: %s", status, resp)
+	}
+	var env ErrorBody
+	if err := json.Unmarshal(resp, &env); err != nil {
+		t.Fatalf("negative k: not the error envelope: %s", resp)
+	}
+	if want := "k must be positive, got -3"; env.Error.Message != want {
+		t.Fatalf("negative k message %q, want %q", env.Error.Message, want)
+	}
+}

@@ -15,7 +15,7 @@ func TestServeQueryDefaultsMatchTopK(t *testing.T) {
 	target := figure1TargetJSON()
 
 	k := d3l.DefaultK
-	code, topkBody := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: target, K: k})
+	code, topkBody := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: target, K: kptr(k)})
 	if code != http.StatusOK {
 		t.Fatalf("topk status %d: %s", code, topkBody)
 	}

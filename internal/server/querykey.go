@@ -83,19 +83,20 @@ func (w *keyWriter) sum() string {
 }
 
 // topKKey keys /v1/topk and /v1/joins responses (kind distinguishes
-// them).
-func topKKey(kind string, engineFP, swapGen uint64, req *TopKRequest) string {
+// them). k is the validated answer size (requireK already resolved
+// the request's pointer).
+func topKKey(kind string, engineFP, swapGen uint64, k int, table *TableJSON) string {
 	w := newKeyWriter(kind, engineFP, swapGen)
-	w.u64(uint64(req.K))
-	w.table(&req.Table)
+	w.u64(uint64(k))
+	w.table(table)
 	return w.sum()
 }
 
 // batchKey keys /v1/batch responses over the whole target list (order
 // matters: the response is indexed like the request).
-func batchKey(engineFP, swapGen uint64, req *BatchRequest) string {
+func batchKey(engineFP, swapGen uint64, k int, req *BatchRequest) string {
 	w := newKeyWriter("batch", engineFP, swapGen)
-	w.u64(uint64(req.K))
+	w.u64(uint64(k))
 	w.u64(uint64(len(req.Tables)))
 	for i := range req.Tables {
 		w.table(&req.Tables[i])
@@ -116,11 +117,17 @@ func explainKey(engineFP, swapGen uint64, req *ExplainRequest) string {
 // result-relevant knob — k, joins, explanation target, weights,
 // evidence subset, candidate budget — can never share a body, while
 // spelled-differently-but-equal requests (absent vs explicit default
-// k, reordered evidence lists) do. Weights are hashed as IEEE 754
-// bits: exact equality is the right notion for a cache key.
+// k, reordered evidence lists, a −0.0 weight vs +0.0) do. Weights are
+// hashed as IEEE 754 bits — exact equality is the right notion for a
+// cache key — which is why plan() canonicalises negative zero before
+// the weights reach this point. The planner flag is folded in too,
+// keeping the key a pure function of the canonical request; both modes
+// produce byte-identical bodies, so the only cost is one duplicate
+// cache entry when a client A/B-probes the same query.
 func queryKey(engineFP, swapGen uint64, p *queryPlan, t *TableJSON) string {
 	w := newKeyWriter("query", engineFP, swapGen)
 	w.u64(uint64(p.k))
+	w.bool(p.planner)
 	w.bool(p.joins)
 	w.str(p.explainFor)
 	w.bool(p.weightsSet)

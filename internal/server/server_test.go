@@ -62,6 +62,10 @@ func figure1Lake(t testing.TB) *d3l.Lake {
 	return lake
 }
 
+// kptr builds the pointer form TopKRequest.K and BatchRequest.K take
+// (present-vs-omitted is part of the validation contract).
+func kptr(k int) *int { return &k }
+
 func figure1TargetJSON() TableJSON {
 	return TableJSON{
 		Name:    "T",
@@ -203,7 +207,7 @@ func TestServeTopKMatchesLibrary(t *testing.T) {
 	engine := figure1Engine(t)
 	_, hs := newTestServer(t, engine, Config{})
 
-	code, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 3})
+	code, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(3)})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
@@ -237,7 +241,7 @@ func TestServeTopKMatchesLibrary(t *testing.T) {
 // hit counter, and the replayed body is byte-identical.
 func TestServeRepeatedQueryHitsCache(t *testing.T) {
 	_, hs := newTestServer(t, figure1Engine(t), Config{})
-	req := TopKRequest{Table: figure1TargetJSON(), K: 3}
+	req := TopKRequest{Table: figure1TargetJSON(), K: kptr(3)}
 
 	code, first := postJSON(t, hs.URL+"/v1/topk", req)
 	if code != http.StatusOK {
@@ -260,7 +264,7 @@ func TestServeRepeatedQueryHitsCache(t *testing.T) {
 	}
 
 	// A different k is a different canonical fingerprint: miss.
-	if code, _ := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 2}); code != http.StatusOK {
+	if code, _ := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(2)}); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
 	if s2 := getStats(t, hs.URL); s2.CacheMisses != 2 {
@@ -272,7 +276,7 @@ func TestServeRepeatedQueryHitsCache(t *testing.T) {
 // an Add or Remove that changes it.
 func TestServeMutationsInvalidateCache(t *testing.T) {
 	_, hs := newTestServer(t, figure1Engine(t), Config{})
-	req := TopKRequest{Table: figure1TargetJSON(), K: 5}
+	req := TopKRequest{Table: figure1TargetJSON(), K: kptr(5)}
 
 	parse := func(body []byte) []string {
 		var resp TopKResponse
@@ -346,7 +350,7 @@ func TestServeJoinsExplainBatch(t *testing.T) {
 	_, hs := newTestServer(t, engine, Config{})
 	target := figure1TargetJSON()
 
-	code, body := postJSON(t, hs.URL+"/v1/joins", TopKRequest{Table: target, K: 2})
+	code, body := postJSON(t, hs.URL+"/v1/joins", TopKRequest{Table: target, K: kptr(2)})
 	if code != http.StatusOK {
 		t.Fatalf("joins status %d: %s", code, body)
 	}
@@ -375,7 +379,7 @@ func TestServeJoinsExplainBatch(t *testing.T) {
 		t.Fatal("no explanation rows")
 	}
 
-	code, body = postJSON(t, hs.URL+"/v1/batch", BatchRequest{Tables: []TableJSON{target, target}, K: 2})
+	code, body = postJSON(t, hs.URL+"/v1/batch", BatchRequest{Tables: []TableJSON{target, target}, K: kptr(2)})
 	if code != http.StatusOK {
 		t.Fatalf("batch status %d: %s", code, body)
 	}
@@ -421,7 +425,7 @@ func TestServeHotReload(t *testing.T) {
 	engine := figure1Engine(t)
 	snapPath := saveSnapshot(t, engine, t.TempDir())
 	_, hs := newTestServer(t, engine, Config{SnapshotPath: snapPath})
-	req := TopKRequest{Table: figure1TargetJSON(), K: 5}
+	req := TopKRequest{Table: figure1TargetJSON(), K: kptr(5)}
 
 	// Mutate the serving engine away from the snapshot and cache an
 	// answer that reflects the mutation.
@@ -598,7 +602,7 @@ func TestServeSwapWithEqualFingerprint(t *testing.T) {
 	}
 
 	srv, hs := newTestServer(t, engine1, Config{})
-	req := TopKRequest{Table: figure1TargetJSON(), K: 3}
+	req := TopKRequest{Table: figure1TargetJSON(), K: kptr(3)}
 	_, before := postJSON(t, hs.URL+"/v1/topk", req)
 	if err := srv.Swap(engine2); err != nil {
 		t.Fatal(err)
@@ -636,7 +640,7 @@ func TestServeShutdownDrainsInFlight(t *testing.T) {
 	}
 
 	srv.BeginShutdown()
-	if code, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: 1}); code != http.StatusServiceUnavailable {
+	if code, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(1)}); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown query status %d: %s", code, body)
 	}
 

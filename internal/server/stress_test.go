@@ -64,10 +64,10 @@ func TestServeConcurrentTrafficWithMutationsAndReload(t *testing.T) {
 			for i := 0; i < queriesPer; i++ {
 				k := 1 + (i % 3)
 				if i%2 == 0 {
-					status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: k})
+					status, body := postJSON(t, hs.URL+"/v1/topk", TopKRequest{Table: figure1TargetJSON(), K: kptr(k)})
 					checkStatus(status, body, http.StatusOK)
 				} else {
-					status, body := postJSON(t, hs.URL+"/v1/batch", BatchRequest{Tables: []TableJSON{figure1TargetJSON()}, K: k})
+					status, body := postJSON(t, hs.URL+"/v1/batch", BatchRequest{Tables: []TableJSON{figure1TargetJSON()}, K: kptr(k)})
 					checkStatus(status, body, http.StatusOK)
 				}
 			}
@@ -123,7 +123,7 @@ func TestServeConcurrentTrafficWithMutationsAndReload(t *testing.T) {
 	// Sequential cache-consistency epilogue: with traffic quiesced,
 	// a mutation followed immediately by the same query must observe
 	// the mutation — the cached pre-mutation body must not replay.
-	req := TopKRequest{Table: figure1TargetJSON(), K: 5}
+	req := TopKRequest{Table: figure1TargetJSON(), K: kptr(5)}
 	names := func() []string {
 		status, body := postJSON(t, hs.URL+"/v1/topk", req)
 		if status != http.StatusOK {

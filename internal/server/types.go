@@ -145,6 +145,12 @@ type QueryRequest struct {
 	// CandidateBudget caps candidates per target attribute per index;
 	// 0 or absent keeps the engine default.
 	CandidateBudget int `json:"candidateBudget,omitempty"`
+	// Planner toggles the prepared-plan execution path. Absent or true
+	// keeps the planner on (the default); false disables it. The answer
+	// is bit-identical either way, so this is an A/B switch, not a
+	// result knob — it still feeds the cache key, keeping the counters
+	// each mode would report honest.
+	Planner *bool `json:"planner,omitempty"`
 }
 
 // queryPlan is a validated, canonicalised QueryRequest: the option
@@ -161,6 +167,7 @@ type queryPlan struct {
 	weights      d3l.Weights
 	evidenceMask uint64 // bit t set = evidence type t enabled
 	budget       int
+	planner      bool // canonical: absent and explicit true both land here as true
 }
 
 // plan validates the request and resolves it to a queryPlan. All
@@ -172,10 +179,14 @@ func (r *QueryRequest) plan() (*queryPlan, error) {
 		joins:      r.Joins,
 		explainFor: r.ExplainFor,
 		budget:     r.CandidateBudget,
+		planner:    r.Planner == nil || *r.Planner,
+	}
+	if !p.planner {
+		p.opts = append(p.opts, d3l.WithPlanner(false))
 	}
 	if r.K != nil {
 		if *r.K < 0 {
-			return nil, fmt.Errorf("k must be non-negative, got %d", *r.K)
+			return nil, fmt.Errorf("k must be positive, got %d", *r.K)
 		}
 		p.k = *r.K
 		p.opts = append(p.opts, d3l.WithK(*r.K))
@@ -201,6 +212,16 @@ func (r *QueryRequest) plan() (*queryPlan, error) {
 		}
 		var w d3l.Weights
 		copy(w[:], r.Weights)
+		// Canonicalise negative zero before validation and hashing: −0.0
+		// scores identically to +0.0 (it survives Validate because
+		// −0.0 < 0 is false), but its IEEE 754 bit pattern differs, so
+		// without this a −0.0 weight would split the result cache into
+		// two keys for one answer.
+		for i := range w {
+			if w[i] == 0 {
+				w[i] = 0
+			}
+		}
 		if err := w.Validate(); err != nil {
 			return nil, err
 		}
@@ -259,9 +280,11 @@ type TablesResponse struct {
 }
 
 // TopKRequest asks for the k most related lake tables of one target.
+// K is a pointer so an omitted field is distinguishable from an
+// explicit 0 — both are 400s, with messages telling the two apart.
 type TopKRequest struct {
 	Table TableJSON `json:"table"`
-	K     int       `json:"k"`
+	K     *int      `json:"k"`
 }
 
 // TopKResponse carries the ranked answer.
@@ -269,10 +292,27 @@ type TopKResponse struct {
 	Results []ResultJSON `json:"results"`
 }
 
-// BatchRequest asks one top-k query per target table.
+// requireK is the one k-validation rule of the ranking endpoints
+// (/v1/topk, /v1/joins, /v1/batch): k must be present and positive.
+// All three share this helper so an invalid k yields the identical 400
+// envelope whichever endpoint it hits. (/v1/query differs by design —
+// absent k selects the default and k 0 is valid for explanation-only
+// queries — but its negative-k message matches requireK's.)
+func requireK(k *int) (int, error) {
+	if k == nil {
+		return 0, fmt.Errorf("k is required and must be positive")
+	}
+	if *k <= 0 {
+		return 0, fmt.Errorf("k must be positive, got %d", *k)
+	}
+	return *k, nil
+}
+
+// BatchRequest asks one top-k query per target table. K follows
+// TopKRequest's pointer convention.
 type BatchRequest struct {
 	Tables []TableJSON `json:"tables"`
-	K      int         `json:"k"`
+	K      *int        `json:"k"`
 }
 
 // BatchResponse is indexed like BatchRequest.Tables.
@@ -323,7 +363,9 @@ type HealthResponse struct {
 	EngineFingerprint string `json:"engineFingerprint"`
 }
 
-// StatsResponse is the /v1/statsz body: serving counters since start.
+// StatsResponse is the /v1/statsz body: serving counters since start,
+// plus the engine-lifetime query-planner counters (plan cache
+// hits/misses and the pruning work the evidence cascade elided).
 type StatsResponse struct {
 	EngineFingerprint string `json:"engineFingerprint"`
 	Tables            int    `json:"tables"`
@@ -340,6 +382,13 @@ type StatsResponse struct {
 	Canceled          int64  `json:"canceled"`    // client disconnected mid-computation (work cancelled)
 	Mutations         int64  `json:"mutations"`
 	Reloads           int64  `json:"reloads"`
+	// Query-planner counters (see d3l.PlannerTotals). They describe the
+	// currently serving engine and reset with it on reload.
+	PlanCacheHits       int64 `json:"planCacheHits"`
+	PlanCacheMisses     int64 `json:"planCacheMisses"`
+	TablesPruned        int64 `json:"tablesPruned"`
+	PairsPruned         int64 `json:"pairsPruned"`
+	EvidenceEvalsElided int64 `json:"evidenceEvalsElided"`
 }
 
 // ReloadResponse acknowledges a hot snapshot reload.

@@ -52,6 +52,7 @@ type queryConfig struct {
 	weights     *Weights
 	disabled    *[NumEvidence]bool
 	budget      int
+	noPlanner   bool
 	parallelism int   // internal: QueryBatch pins inner queries to 1
 	err         error // first option error, reported by Query
 }
@@ -160,6 +161,17 @@ func ParseEvidence(name string) (Evidence, error) {
 	}
 }
 
+// WithPlanner enables or disables the prepared-plan execution path —
+// the cheapest-first evidence cascade with bound-based top-k pruning,
+// the learned forest probe depths, and the prepared-plan cache. It is
+// on by default; the answer is bit-identical either way (the planner
+// only elides work whose outcome is already decided), so
+// WithPlanner(false) exists as an escape hatch and as the A/B switch
+// for measuring what the planner saves (compare Answer.Plan).
+func WithPlanner(enabled bool) QueryOption {
+	return func(c *queryConfig) { c.noPlanner = !enabled }
+}
+
 // WithCandidateBudget caps the candidates gathered per target
 // attribute per index for this query (0 keeps the engine default,
 // which derives from k). Larger budgets trade latency for recall.
@@ -222,6 +234,11 @@ type Answer struct {
 	Explanation []PairExplanation
 	// Stats summarises the work this query did.
 	Stats QueryStats
+	// Plan reports what the prepared-plan execution path did — the
+	// evidence-cascade order, whether the plan was cached, and the
+	// deterministic pruning counters. Zero for explanation-only queries
+	// and under WithPlanner(false).
+	Plan PlanStats
 }
 
 // Query answers one discovery query: the k most related lake tables
@@ -270,6 +287,7 @@ func (e *Engine) query(ctx context.Context, target *Table, cfg queryConfig) (*An
 		Disabled:        cfg.disabled,
 		CandidateBudget: cfg.budget,
 		Parallelism:     cfg.parallelism,
+		DisablePlanner:  cfg.noPlanner,
 	}
 	ans := &Answer{Stats: QueryStats{K: cfg.k}}
 	var res *core.SearchResult
@@ -282,6 +300,7 @@ func (e *Engine) query(ctx context.Context, target *Table, cfg queryConfig) (*An
 		ans.Results = res.Ranked
 		ans.Stats.CandidatePairs = res.Stats.CandidatePairs
 		ans.Stats.TablesScored = res.Stats.TablesScored
+		ans.Plan = res.Plan
 		if cfg.joins {
 			g, err := e.joinGraphCtx(ctx)
 			if err != nil {

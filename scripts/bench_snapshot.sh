@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# bench_snapshot.sh — run the serving-path benchmarks with allocation
-# accounting and write BENCH_PR5.json: a machine-readable snapshot of
-# ns/op, B/op and allocs/op for the TopK / BatchTopK / Query
+# bench_snapshot.sh — run the serving-path and planner benchmarks with
+# allocation accounting and write BENCH_PR6.json: a machine-readable
+# snapshot of ns/op, B/op, allocs/op (and pruned-pairs/op where a
+# benchmark reports it) for the TopK / BatchTopK / Query / Planner
 # benchmarks, so future PRs have a perf trajectory to diff against
 # (benchstat handles the statistical comparison in CI; this file is
 # the coarse-grained, committable record).
@@ -12,10 +13,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkSequentialTopKLoop$|BenchmarkBatchTopK$|BenchmarkQueryVsTopK|BenchmarkSearchAllocs$|BenchmarkParallelSearch$'
+PATTERN='BenchmarkSequentialTopKLoop$|BenchmarkBatchTopK$|BenchmarkQueryVsTopK|BenchmarkSearchAllocs$|BenchmarkParallelSearch$|BenchmarkPlannerColdPlan$|BenchmarkPlannerWarmPlan$|BenchmarkPlannerPrunedSkewed'
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -27,9 +28,10 @@ awk -v count="$COUNT" -v goversion="$(go version | awk '{print $3}')" '
     name = $1
     sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
     for (i = 2; i < NF; i++) {
-      if ($(i+1) == "ns/op")     { ns[name] += $i;     nns[name]++ }
-      if ($(i+1) == "B/op")      { bop[name] += $i;    nb[name]++ }
-      if ($(i+1) == "allocs/op") { aop[name] += $i;    na[name]++ }
+      if ($(i+1) == "ns/op")           { ns[name] += $i;  nns[name]++ }
+      if ($(i+1) == "B/op")            { bop[name] += $i; nb[name]++ }
+      if ($(i+1) == "allocs/op")       { aop[name] += $i; na[name]++ }
+      if ($(i+1) == "pruned-pairs/op") { pp[name] += $i;  np[name]++ }
     }
   }
   END {
@@ -46,9 +48,11 @@ awk -v count="$COUNT" -v goversion="$(go version | awk '{print $3}')" '
         if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
     for (i = 1; i <= n; i++) {
       name = order[i]
-      printf "    \"%s\": {\"ns_op\": %.0f, \"b_op\": %.0f, \"allocs_op\": %.0f}%s\n",
-        name, ns[name]/nns[name], bop[name]/nb[name], aop[name]/na[name],
-        (i < n ? "," : "")
+      printf "    \"%s\": {\"ns_op\": %.0f, \"b_op\": %.0f, \"allocs_op\": %.0f",
+        name, ns[name]/nns[name], bop[name]/nb[name], aop[name]/na[name]
+      if (np[name] > 0)
+        printf ", \"pruned_pairs_op\": %.1f", pp[name]/np[name]
+      printf "}%s\n", (i < n ? "," : "")
     }
     printf "  }\n}\n"
   }

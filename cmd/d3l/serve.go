@@ -94,6 +94,11 @@ func cmdServe(args []string) error {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// /metrics rides the debug listener too (it is also on the
+		// public mux): an operator can still scrape a replica whose
+		// public listener is saturated by the very overload being
+		// debugged.
+		pm.Handle("GET /metrics", srv.MetricsHandler())
 		ps := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := ps.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -84,6 +84,21 @@ type (
 	// PlannerTotals are the engine-lifetime planner counters (plan
 	// cache hits/misses, pruning work elided) — see Engine.PlannerTotals.
 	PlannerTotals = core.PlannerTotals
+	// QueryStage identifies one timed region of the ranking pipeline —
+	// see Engine.SetStageObserver and the stage constants.
+	QueryStage = core.QueryStage
+	// StageObserver receives per-stage wall times of ranking queries.
+	StageObserver = core.StageObserver
+)
+
+// Query pipeline stages, in execution order. Stage.String() yields the
+// stable snake_case names the serving layer uses as metric labels.
+const (
+	StagePlanPrepare = core.StagePlanPrepare
+	StageGather      = core.StageGather
+	StageScore       = core.StageScore
+	StageRankMerge   = core.StageRankMerge
+	NumQueryStages   = core.NumQueryStages
 )
 
 // ErrTableNotFound reports a lookup of a lake table name that is not
@@ -351,6 +366,15 @@ func (e *Engine) PrewarmScratch(n int) { e.core.PrewarmScratch(n) }
 // elided). The counters accumulate across every query served by this
 // engine; /v1/statsz exposes them for operators.
 func (e *Engine) PlannerTotals() PlannerTotals { return e.core.PlannerTotals() }
+
+// SetStageObserver installs (or, with nil, removes) an observer that
+// receives the wall time of every pipeline stage of every ranking
+// query — the hook the serving layer's /metrics histograms record
+// through. With no observer the pipeline takes no timestamps at all,
+// so an uninstrumented engine pays one atomic pointer load per query.
+// The observer must be safe for concurrent use; last registration
+// wins (the HTTP server re-registers on every hot engine swap).
+func (e *Engine) SetStageObserver(o StageObserver) { e.core.SetStageObserver(o) }
 
 // ResetPlanCache drops every prepared plan (the lifetime counters keep
 // accumulating). Benchmarks use it to measure the cold-plan path;

@@ -52,6 +52,12 @@ type Engine struct {
 	planCache planCache
 	planStats plannerCounters
 
+	// stageObs, when set, receives per-stage wall times of every
+	// ranking query (see stages.go). nil — the default, and the state
+	// of every freshly built or decoded engine — keeps the pipeline
+	// free of clock reads entirely.
+	stageObs atomic.Pointer[StageObserver]
+
 	forestN *lsh.Forest
 	forestV *lsh.Forest
 	forestF *lsh.Forest

@@ -192,6 +192,10 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 	qs := e.getQueryScratch()
 	defer e.putQueryScratch(qs)
 
+	// Stage timing (see stages.go) is observer-gated: with no observer
+	// installed the timer is inert and the pipeline reads no clocks.
+	st := e.newStageTimer()
+
 	// Phase 0 (planner only): prepare — or fetch from the plan cache —
 	// the evidence cascade and the forest depth hints for this
 	// (target, engine, options) shape.
@@ -199,6 +203,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 	var planCached bool
 	if view.planner {
 		plan, planCached = e.preparePlan(tprofiles, &view)
+		st.lap(StagePlanPrepare)
 	}
 
 	// Phase 1: per target attribute, gather candidates from the four
@@ -208,6 +213,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 	if err != nil {
 		return nil, err
 	}
+	st.lap(StageGather)
 
 	// Phase 2: per (target column, evidence type), build the R_t
 	// distance distributions backing the Eq. 2 CCDF weights. The
@@ -238,6 +244,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 			return nil, err
 		}
 		planStats.Cached = planCached
+		st.lap(StageScore)
 	} else {
 		if cap(qs.scored) < len(runs) {
 			qs.scored = make([]scoredTable, len(runs))
@@ -258,6 +265,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 		}); err != nil {
 			return nil, err
 		}
+		st.lap(StageScore)
 
 		// Ranking: bounded top-k selection over the scored slots
 		// instead of a full sort — same (Distance, Name) order, only k
@@ -283,6 +291,7 @@ func (e *Engine) rankProfiled(ctx context.Context, target *table.Table, tprofile
 		}
 	}
 	e.putWorkerScratch(ws)
+	st.lap(StageRankMerge)
 	return &SearchResult{
 		Target:         target,
 		TargetProfiles: tprofiles,

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"d3l/internal/table"
+)
+
+func stageTestEngine(t *testing.T) (*Engine, *table.Table) {
+	t.Helper()
+	lake := table.NewLake()
+	for _, spec := range [][3]string{
+		{"cities", "city", "population"},
+		{"towns", "town", "people"},
+		{"rivers", "river", "length"},
+	} {
+		tbl, err := table.New(spec[0], []string{spec[1], spec[2]}, [][]string{
+			{"alpha", "100"}, {"beta", "200"}, {"gamma", "300"}, {"delta", "400"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lake.Add(tbl)
+	}
+	e, err := BuildEngine(lake, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := table.New("probe", []string{"city", "population"}, [][]string{
+		{"alpha", "100"}, {"epsilon", "500"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, target
+}
+
+// TestStageObserverCoversPipeline proves a ranking query reports every
+// stage exactly once (plan_prepare only with the planner on), with
+// non-negative durations, and that removing the observer stops
+// observations.
+func TestStageObserverCoversPipeline(t *testing.T) {
+	e, target := stageTestEngine(t)
+	var mu sync.Mutex
+	seen := map[QueryStage]int{}
+	e.SetStageObserver(func(s QueryStage, d time.Duration) {
+		if d < 0 {
+			t.Errorf("stage %v: negative duration %v", s, d)
+		}
+		mu.Lock()
+		seen[s]++
+		mu.Unlock()
+	})
+	if _, err := e.TopK(target, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []QueryStage{StagePlanPrepare, StageGather, StageScore, StageRankMerge} {
+		if seen[s] != 1 {
+			t.Errorf("stage %v observed %d times, want 1 (seen: %v)", s, seen[s], seen)
+		}
+	}
+
+	// Planner off: plan_prepare must not report; the rest still do.
+	seen = map[QueryStage]int{}
+	if _, err := e.SearchSpec(t.Context(), target, QuerySpec{K: 2, DisablePlanner: true}); err != nil {
+		t.Fatal(err)
+	}
+	if seen[StagePlanPrepare] != 0 {
+		t.Errorf("plan_prepare observed %d times with planner off, want 0", seen[StagePlanPrepare])
+	}
+	for _, s := range []QueryStage{StageGather, StageScore, StageRankMerge} {
+		if seen[s] != 1 {
+			t.Errorf("planner-off: stage %v observed %d times, want 1", s, seen[s])
+		}
+	}
+
+	e.SetStageObserver(nil)
+	seen = map[QueryStage]int{}
+	if _, err := e.TopK(target, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Errorf("observations after removal: %v", seen)
+	}
+}
+
+// TestStageNamesStable pins the metric label values: renaming a stage
+// breaks dashboards and must be a deliberate edit here and in the
+// server's golden exposition fixture.
+func TestStageNamesStable(t *testing.T) {
+	want := map[QueryStage]string{
+		StagePlanPrepare: "plan_prepare",
+		StageGather:      "gather",
+		StageScore:       "score",
+		StageRankMerge:   "rank_merge",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("stage %d name = %q, want %q", s, s.String(), name)
+		}
+	}
+	if NumQueryStages != 4 {
+		t.Errorf("NumQueryStages = %d; adding a stage requires updating the server metrics and golden fixture", NumQueryStages)
+	}
+	if QueryStage(200).String() != "unknown" {
+		t.Errorf("out-of-range stage name = %q", QueryStage(200).String())
+	}
+}

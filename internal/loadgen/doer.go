@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPDoer drives a live replica over the network: the SLO it measures
+// includes the kernel and loopback (or NIC) path, exactly what a real
+// client sees.
+type HTTPDoer struct {
+	Base   string // e.g. http://127.0.0.1:8080, no trailing slash
+	Client *http.Client
+}
+
+// NewHTTPDoer returns a doer with a dedicated transport sized for the
+// closed-loop worker fleet (one connection per worker, kept alive).
+func NewHTTPDoer(base string, workers int) *HTTPDoer {
+	t := &http.Transport{
+		MaxIdleConns:        workers + 2,
+		MaxIdleConnsPerHost: workers + 2,
+		IdleConnTimeout:     time.Minute,
+	}
+	return &HTTPDoer{
+		Base:   strings.TrimRight(base, "/"),
+		Client: &http.Client{Transport: t, Timeout: 2 * time.Minute},
+	}
+}
+
+func (d *HTTPDoer) Do(req Request) (int, []byte, error) {
+	var rd io.Reader
+	if req.Body != nil {
+		rd = bytes.NewReader(req.Body)
+	}
+	hr, err := http.NewRequest(req.Method, d.Base+req.Path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if req.Body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.Client.Do(hr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// HandlerDoer drives an http.Handler in-process — no sockets, no
+// serialisation over a wire. `d3l loadgen -direct` uses it to measure
+// the serving stack (admission, cache, engine) in isolation from
+// kernel networking.
+type HandlerDoer struct {
+	Handler http.Handler
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter the direct
+// path needs (httptest.ResponseRecorder would work, but the driver is
+// production code and owns its three-field dependency instead).
+type memResponse struct {
+	hdr  http.Header
+	buf  bytes.Buffer
+	code int
+}
+
+func (m *memResponse) Header() http.Header { return m.hdr }
+func (m *memResponse) WriteHeader(c int) {
+	if m.code == 0 {
+		m.code = c
+	}
+}
+func (m *memResponse) Write(p []byte) (int, error) {
+	if m.code == 0 {
+		m.code = http.StatusOK
+	}
+	return m.buf.Write(p)
+}
+
+func (d *HandlerDoer) Do(req Request) (int, []byte, error) {
+	var rd io.Reader
+	if req.Body != nil {
+		rd = bytes.NewReader(req.Body)
+	}
+	hr, err := http.NewRequest(req.Method, req.Path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if req.Body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	w := &memResponse{hdr: http.Header{}}
+	d.Handler.ServeHTTP(w, hr)
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.code, w.buf.Bytes(), nil
+}

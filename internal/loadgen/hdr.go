@@ -1,0 +1,112 @@
+package loadgen
+
+import "math/bits"
+
+// hdrHist is an HDR-style log-linear latency histogram over int64
+// nanoseconds: exact buckets below 2^subBits, then 2^(subBits-1)
+// linear sub-buckets per power-of-two range, for a bounded relative
+// error of 2^-(subBits-1) (≤ 0.8%) at any magnitude from nanoseconds
+// to hours. Fixed-size and allocation-free on the record path, so the
+// driver's own bookkeeping stays invisible next to the latencies it
+// measures. Not safe for concurrent use: each worker records into its
+// own histogram and the driver merges after the run.
+type hdrHist struct {
+	counts [hdrBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+const (
+	subBits    = 8
+	subCount   = 1 << subBits // exact region size
+	subHalf    = subCount / 2 // linear sub-buckets per octave
+	hdrBuckets = subCount + (64-subBits)*subHalf
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	n := bits.Len64(u)         // v has n significant bits, n > subBits
+	shift := uint(n - subBits) // keep the top subBits bits
+	octave := n - subBits - 1  // 0 for the first log-linear octave
+	return subCount + octave*subHalf + int(u>>shift) - subHalf
+}
+
+// bucketUpper is the largest value mapping to bucket i — quantiles
+// report it so the bounded error is always an overestimate, never an
+// underestimate, of the true latency.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	octave := (i - subCount) / subHalf
+	pos := (i - subCount) % subHalf
+	shift := uint(octave + 1)
+	lower := uint64(subHalf+pos) << shift
+	return int64(lower + (1 << shift) - 1)
+}
+
+func (h *hdrHist) record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *hdrHist) merge(o *hdrHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns an upper bound on the q-quantile (q in [0,1]) of
+// the recorded values, or 0 when empty. The true max is tracked
+// exactly, so q=1 is not subject to bucket rounding.
+func (h *hdrHist) quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := int64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			upper := bucketUpper(i)
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+func (h *hdrHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}

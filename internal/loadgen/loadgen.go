@@ -1,0 +1,391 @@
+// Package loadgen is the closed-loop load driver behind `d3l loadgen`:
+// a fixed fleet of workers replays a weighted operation mix against a
+// serving replica (over HTTP or in-process), records HDR-style latency
+// per endpoint, and renders a machine-readable SLO report with
+// fail-closed gates — any 5xx, a missing metric family in the final
+// /metrics scrape, or a p99 above the configured ceiling turns the run
+// into a non-zero exit. The request sequence is a pure function of the
+// seed: same seed, same workload, byte for byte, which is what makes
+// committed SLO snapshots comparable across PRs.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is one HTTP exchange of an operation. A nil Body sends no
+// body; a non-nil one is posted as application/json.
+type Request struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// OpSpec is one operation class of the mix. An operation executes one
+// variant — every request of it, in order — and its latency is the
+// wall time of the whole variant. Exactly one of Variants and
+// VariantsFor must be set; VariantsFor receives the worker index, for
+// operations that must not collide across workers (the mutate op adds
+// and deletes a per-worker churn table).
+type OpSpec struct {
+	Name        string
+	Weight      int
+	Variants    [][]Request
+	VariantsFor func(worker int) [][]Request
+	// Accept lists extra statuses counted as success for this op.
+	// Mutate mixes accept 404/409: when backpressure (429/503) splits
+	// an add/delete pair, the next pair's add meets a leftover table —
+	// an artifact of the driver, not a server defect.
+	Accept []int
+}
+
+// Doer executes one request and returns the status and response body.
+// Implementations: HTTPDoer (a live replica over the network) and
+// HandlerDoer (an in-process http.Handler, no sockets — isolates the
+// engine's SLO from kernel networking).
+type Doer interface {
+	Do(req Request) (status int, body []byte, err error)
+}
+
+// Config drives one run.
+type Config struct {
+	Workers  int
+	Warmup   time.Duration // load applied but not recorded
+	Duration time.Duration // recorded window
+	Seed     uint64
+	Ops      []OpSpec
+
+	// Gates; violations land in Report.Violations.
+	FailOn5xx      bool
+	MaxP99         time.Duration // 0 disables the ceiling
+	RequireMetrics []string      // families that must appear in the final scrape
+	RequireSeries  []string      // raw substrings that must appear in the scrape
+	MetricsPath    string        // "" skips the final scrape (and its gates)
+}
+
+// EndpointStats is the per-operation section of the report. Quantiles
+// are upper bounds with ≤0.8% relative error (see hdrHist).
+type EndpointStats struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"` // transport failures and unexpected non-2xx
+	Status429 int64   `json:"status429"`
+	Status503 int64   `json:"status503"`
+	Status5xx int64   `json:"status5xx"` // every >=500, 503 included
+	MeanMs    float64 `json:"meanMs"`
+	P50Ms     float64 `json:"p50Ms"`
+	P95Ms     float64 `json:"p95Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	MaxMs     float64 `json:"maxMs"`
+	hist      *hdrHist
+}
+
+// Report is the machine-readable outcome of a run. Violations empty
+// means every gate passed.
+type Report struct {
+	Seed            uint64                    `json:"seed"`
+	Workers         int                       `json:"workers"`
+	WarmupSeconds   float64                   `json:"warmupSeconds"`
+	DurationSeconds float64                   `json:"durationSeconds"`
+	TotalOps        int64                     `json:"totalOps"`
+	OpsPerSec       float64                   `json:"opsPerSec"`
+	Endpoints       map[string]*EndpointStats `json:"endpoints"`
+	// Metrics is a parse of the final /metrics scrape: every
+	// single-sample family, plus stage_count:<stage> entries for the
+	// per-stage histogram counts.
+	Metrics        map[string]float64 `json:"metrics,omitempty"`
+	MissingMetrics []string           `json:"missingMetrics,omitempty"`
+	Violations     []string           `json:"violations,omitempty"`
+}
+
+// splitmix64 is the sequence PRNG — owned here rather than taken from
+// math/rand so the request sequence for a given seed can never change
+// under a Go release, which would silently invalidate cross-PR SLO
+// comparisons.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// workerSeed derives stream w from the run seed; streams are decorrelated
+// by passing the mix through splitmix64 once.
+func workerSeed(seed uint64, worker int) uint64 {
+	s := seed ^ (uint64(worker)+1)*0xd6e8feb86659fd93
+	return splitmix64(&s)
+}
+
+// sequence yields the deterministic (op, variant) stream of one worker.
+type sequence struct {
+	state uint64
+	cum   []int // cumulative op weights
+	total int
+	nvar  []int // variant count per op
+}
+
+func newSequence(seed uint64, ops []OpSpec, nvar []int) *sequence {
+	s := &sequence{state: seed, nvar: nvar}
+	for _, op := range ops {
+		s.total += op.Weight
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+// next picks the weighted op, then its variant, consuming exactly two
+// PRNG draws — a fixed budget per operation, so sequences with the
+// same seed stay aligned regardless of timing.
+func (s *sequence) next() (op, variant int) {
+	r := int(splitmix64(&s.state) % uint64(s.total))
+	op = sort.SearchInts(s.cum, r+1)
+	variant = int(splitmix64(&s.state) % uint64(s.nvar[op]))
+	return op, variant
+}
+
+type opStats struct {
+	hist      hdrHist
+	errors    int64
+	status429 int64
+	status503 int64
+	status5xx int64
+}
+
+// Run applies the workload and evaluates the gates. The error return
+// is for unusable configuration only; gate failures are reported in
+// Report.Violations so the caller can both persist the report and exit
+// non-zero.
+func Run(cfg Config, d Doer) (*Report, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("loadgen: Workers must be positive, got %d", cfg.Workers)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	if len(cfg.Ops) == 0 {
+		return nil, fmt.Errorf("loadgen: no operations in the mix")
+	}
+	for _, op := range cfg.Ops {
+		if op.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: op %q has non-positive weight %d", op.Name, op.Weight)
+		}
+		if (op.Variants == nil) == (op.VariantsFor == nil) {
+			return nil, fmt.Errorf("loadgen: op %q must set exactly one of Variants and VariantsFor", op.Name)
+		}
+	}
+
+	perWorker := make([][]opStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	warmupUntil := start.Add(cfg.Warmup)
+	deadline := warmupUntil.Add(cfg.Duration)
+	for w := 0; w < cfg.Workers; w++ {
+		perWorker[w] = make([]opStats, len(cfg.Ops))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			variants := make([][][]Request, len(cfg.Ops))
+			nvar := make([]int, len(cfg.Ops))
+			for i, op := range cfg.Ops {
+				if op.VariantsFor != nil {
+					variants[i] = op.VariantsFor(w)
+				} else {
+					variants[i] = op.Variants
+				}
+				nvar[i] = len(variants[i])
+			}
+			seq := newSequence(workerSeed(cfg.Seed, w), cfg.Ops, nvar)
+			stats := perWorker[w]
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				op, v := seq.next()
+				t0 := time.Now()
+				status, failed := runVariant(d, variants[op][v], cfg.Ops[op].Accept)
+				lat := time.Since(t0)
+				if t0.Before(warmupUntil) {
+					continue
+				}
+				st := &stats[op]
+				st.hist.record(lat.Nanoseconds())
+				switch {
+				case failed:
+					st.errors++
+				case status == 429:
+					st.status429++
+				case status == 503:
+					st.status503++
+				}
+				if status >= 500 {
+					st.status5xx++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start) - cfg.Warmup
+
+	rep := &Report{
+		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
+		WarmupSeconds:   cfg.Warmup.Seconds(),
+		DurationSeconds: elapsed.Seconds(),
+		Endpoints:       map[string]*EndpointStats{},
+	}
+	for i, op := range cfg.Ops {
+		es := rep.Endpoints[op.Name]
+		if es == nil {
+			es = &EndpointStats{hist: &hdrHist{}}
+			rep.Endpoints[op.Name] = es
+		}
+		for w := range perWorker {
+			st := &perWorker[w][i]
+			es.hist.merge(&st.hist)
+			es.Errors += st.errors
+			es.Status429 += st.status429
+			es.Status503 += st.status503
+			es.Status5xx += st.status5xx
+		}
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for _, es := range rep.Endpoints {
+		es.Count = es.hist.count
+		es.MeanMs = es.hist.mean() / 1e6
+		es.P50Ms = ms(es.hist.quantile(0.50))
+		es.P95Ms = ms(es.hist.quantile(0.95))
+		es.P99Ms = ms(es.hist.quantile(0.99))
+		es.MaxMs = ms(es.hist.max)
+		rep.TotalOps += es.Count
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	}
+
+	rep.scrapeAndGate(cfg, d)
+	return rep, nil
+}
+
+// runVariant executes one variant; the returned status is the first
+// non-2xx (or the last status), failed marks transport errors and
+// statuses that are neither 2xx, expected backpressure (429/503), nor
+// on the op's accept list.
+func runVariant(d Doer, reqs []Request, accept []int) (status int, failed bool) {
+	for _, req := range reqs {
+		st, _, err := d.Do(req)
+		if err != nil {
+			return 0, true
+		}
+		if st < 200 || st >= 300 {
+			if contains(accept, st) {
+				status = st
+				continue
+			}
+			return st, st != 429 && st != 503
+		}
+		status = st
+	}
+	return status, false
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// scrapeAndGate performs the final /metrics scrape and evaluates every
+// configured gate into rep.Violations.
+func (rep *Report) scrapeAndGate(cfg Config, d Doer) {
+	for name, es := range rep.Endpoints {
+		if es.Errors > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: %d failed requests (transport error or unexpected status)", name, es.Errors))
+		}
+		if cfg.FailOn5xx && es.Status5xx > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: %d responses with status >= 500", name, es.Status5xx))
+		}
+		if cfg.MaxP99 > 0 && es.P99Ms > float64(cfg.MaxP99)/1e6 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: p99 %.2fms exceeds ceiling %v", name, es.P99Ms, cfg.MaxP99))
+		}
+	}
+	if cfg.MetricsPath == "" {
+		rep.sortViolations()
+		return
+	}
+	status, body, err := d.Do(Request{Method: "GET", Path: cfg.MetricsPath})
+	if err != nil || status != 200 {
+		// A failed scrape is only a gate violation when the caller
+		// required series from it; otherwise the scrape was best-effort
+		// report enrichment.
+		if len(cfg.RequireMetrics)+len(cfg.RequireSeries) > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("metrics: scrape of %s failed (status %d, err %v)", cfg.MetricsPath, status, err))
+		}
+		rep.sortViolations()
+		return
+	}
+	text := string(body)
+	rep.Metrics = parseScrape(text)
+	for _, name := range cfg.RequireMetrics {
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			rep.MissingMetrics = append(rep.MissingMetrics, name)
+		}
+	}
+	for _, series := range cfg.RequireSeries {
+		if !strings.Contains(text, series) {
+			rep.MissingMetrics = append(rep.MissingMetrics, series)
+		}
+	}
+	if len(rep.MissingMetrics) > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("metrics: %d required series missing from scrape: %s",
+				len(rep.MissingMetrics), strings.Join(rep.MissingMetrics, ", ")))
+	}
+	rep.sortViolations()
+}
+
+// sortViolations keeps the report deterministic: endpoint iteration is
+// map-ordered, so the gate messages are sorted before rendering.
+func (rep *Report) sortViolations() { sort.Strings(rep.Violations) }
+
+// parseScrape extracts every unlabelled sample as name→value, plus the
+// per-stage histogram counts as "stage_count:<stage>" — the subset of
+// the exposition worth embedding in a committed SLO snapshot.
+func parseScrape(text string) map[string]float64 {
+	out := map[string]float64{}
+	const stageCount = `d3l_query_stage_duration_seconds_count{stage="`
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, stageCount); ok {
+			if stage, val, ok := strings.Cut(rest, `"} `); ok {
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					out["stage_count:"+stage] = v
+				}
+			}
+			continue
+		}
+		if strings.ContainsRune(line, '{') {
+			continue
+		}
+		if name, val, ok := strings.Cut(line, " "); ok {
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}

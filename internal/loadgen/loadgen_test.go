@@ -1,0 +1,263 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ---- hdr histogram ------------------------------------------------------
+
+// TestHDRBucketMath pins the log-linear layout: exact below 2^subBits,
+// contiguous monotone buckets above, and an upper bound whose relative
+// error never exceeds 2^-(subBits-1).
+func TestHDRBucketMath(t *testing.T) {
+	for v := int64(0); v < subCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Fatalf("bucketUpper(%d) = %d, want exact", v, got)
+		}
+	}
+	// Monotone, contiguous indexes across octave boundaries.
+	last := bucketIndex(0) - 1
+	for _, v := range []int64{1, 255, 256, 257, 511, 512, 513, 1023, 1024, 1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345} {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex(%d) = %d went backwards (last %d)", v, i, last)
+		}
+		last = i
+		upper := bucketUpper(i)
+		if upper < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, upper)
+		}
+		if rel := float64(upper-v) / float64(v); rel > 1.0/float64(subHalf) {
+			t.Fatalf("value %d: upper %d, relative error %.4f > %.4f", v, upper, rel, 1.0/float64(subHalf))
+		}
+	}
+	// Every bucket index round-trips: upper(i) still maps to i.
+	for i := 0; i < hdrBuckets; i++ {
+		if got := bucketIndex(bucketUpper(i)); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHDRQuantiles(t *testing.T) {
+	var h hdrHist
+	for v := int64(1); v <= 10000; v++ {
+		h.record(v * 1000) // 1µs .. 10ms in µs steps
+	}
+	if h.count != 10000 {
+		t.Fatalf("count = %d", h.count)
+	}
+	checks := []struct {
+		q    float64
+		want int64 // true quantile value
+	}{{0.5, 5_000_000}, {0.95, 9_500_000}, {0.99, 9_900_000}, {1, 10_000_000}}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		if got < c.want {
+			t.Errorf("q%.2f = %d underestimates true %d", c.q, got, c.want)
+		}
+		if float64(got-c.want)/float64(c.want) > 0.01 {
+			t.Errorf("q%.2f = %d, true %d: error > 1%%", c.q, got, c.want)
+		}
+	}
+	if h.quantile(1) != h.max {
+		t.Errorf("q1 = %d, want exact max %d", h.quantile(1), h.max)
+	}
+	var a, b hdrHist
+	a.record(100)
+	b.record(1 << 30)
+	a.merge(&b)
+	if a.count != 2 || a.max != 1<<30 {
+		t.Errorf("merge: count %d max %d", a.count, a.max)
+	}
+}
+
+// ---- sequence determinism ----------------------------------------------
+
+func testOps() []OpSpec {
+	return []OpSpec{
+		{Name: "topk", Weight: 4, Variants: [][]Request{{{Method: "POST", Path: "/v1/topk"}}, {{Method: "POST", Path: "/v1/topk"}}}},
+		{Name: "query", Weight: 2, Variants: [][]Request{{{Method: "POST", Path: "/v1/query"}}}},
+		{Name: "mutate", Weight: 1, VariantsFor: func(w int) [][]Request {
+			return [][]Request{{
+				{Method: "POST", Path: "/v1/tables", Body: []byte(fmt.Sprintf(`{"w":%d}`, w))},
+				{Method: "DELETE", Path: fmt.Sprintf("/v1/tables/churn_%d", w)},
+			}}
+		}},
+	}
+}
+
+// drawSequence materialises the first n (op, variant) picks of a worker.
+func drawSequence(seed uint64, worker, n int) [][2]int {
+	ops := testOps()
+	nvar := []int{2, 1, 1}
+	seq := newSequence(workerSeed(seed, worker), ops, nvar)
+	out := make([][2]int, n)
+	for i := range out {
+		op, v := seq.next()
+		out[i] = [2]int{op, v}
+	}
+	return out
+}
+
+// TestSequenceDeterminism is the reproducibility contract: the request
+// sequence is a pure function of (seed, worker). Same seed — identical
+// stream; different seed or different worker — a different one.
+func TestSequenceDeterminism(t *testing.T) {
+	a := drawSequence(42, 0, 2000)
+	b := drawSequence(42, 0, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	differs := func(x, y [][2]int) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(a, drawSequence(43, 0, 2000)) {
+		t.Error("different seeds produced identical sequences")
+	}
+	if !differs(a, drawSequence(42, 1, 2000)) {
+		t.Error("different workers produced identical sequences")
+	}
+	// The weighted pick honours the mix: with weights 4:2:1 over 2000
+	// draws, each op must at least appear in rough proportion.
+	counts := [3]int{}
+	for _, p := range a {
+		counts[p[0]]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[2] || counts[2] == 0 {
+		t.Errorf("weighted mix not respected: %v for weights 4:2:1", counts)
+	}
+}
+
+// ---- driver -------------------------------------------------------------
+
+// stubDoer answers every op with a canned status and serves a tiny
+// /metrics exposition.
+type stubDoer struct {
+	status  atomic.Int64
+	scrape  string
+	reqs    atomic.Int64
+	mutates atomic.Int64
+}
+
+func (s *stubDoer) Do(req Request) (int, []byte, error) {
+	if req.Method == "GET" && req.Path == "/metrics" {
+		return 200, []byte(s.scrape), nil
+	}
+	s.reqs.Add(1)
+	if req.Path == "/v1/tables" || req.Method == "DELETE" {
+		s.mutates.Add(1)
+	}
+	return int(s.status.Load()), []byte("{}"), nil
+}
+
+const stubScrape = `# HELP d3l_http_requests_total r
+# TYPE d3l_http_requests_total counter
+d3l_http_requests_total 7
+# TYPE d3l_query_stage_duration_seconds histogram
+d3l_query_stage_duration_seconds_count{stage="gather"} 3
+`
+
+func runStub(t *testing.T, status int, cfg Config) (*Report, *stubDoer) {
+	t.Helper()
+	d := &stubDoer{scrape: stubScrape}
+	d.status.Store(int64(status))
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 150 * time.Millisecond
+	}
+	if cfg.Ops == nil {
+		cfg.Ops = testOps()
+	}
+	rep, err := Run(cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, d
+}
+
+func TestRunHappyPath(t *testing.T) {
+	rep, d := runStub(t, http.StatusOK, Config{
+		Seed:           7,
+		FailOn5xx:      true,
+		MetricsPath:    "/metrics",
+		RequireMetrics: []string{"d3l_http_requests_total"},
+		RequireSeries:  []string{`stage="gather"`},
+	})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+	if rep.TotalOps == 0 || d.reqs.Load() == 0 {
+		t.Fatal("no load applied")
+	}
+	if rep.Endpoints["topk"].Count == 0 || rep.Endpoints["mutate"].Count == 0 {
+		t.Fatalf("mix not exercised: %+v", rep.Endpoints)
+	}
+	if rep.Metrics["d3l_http_requests_total"] != 7 || rep.Metrics["stage_count:gather"] != 3 {
+		t.Fatalf("scrape parse: %v", rep.Metrics)
+	}
+	if rep.Endpoints["topk"].P99Ms < rep.Endpoints["topk"].P50Ms {
+		t.Fatal("quantiles out of order")
+	}
+}
+
+func TestRunGates(t *testing.T) {
+	// 5xx gate.
+	rep, _ := runStub(t, http.StatusInternalServerError, Config{FailOn5xx: true})
+	if len(rep.Violations) == 0 {
+		t.Fatal("500s produced no violation")
+	}
+	// 429 is backpressure, not an error — but not a success either;
+	// only the 5xx gate and error gate must stay quiet.
+	rep, _ = runStub(t, http.StatusTooManyRequests, Config{FailOn5xx: true})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("429s must not violate: %v", rep.Violations)
+	}
+	if rep.Endpoints["topk"].Status429 == 0 {
+		t.Fatal("429s not counted")
+	}
+	// Missing-metric gate.
+	rep, _ = runStub(t, http.StatusOK, Config{MetricsPath: "/metrics", RequireMetrics: []string{"no_such_family"}})
+	if len(rep.MissingMetrics) != 1 || len(rep.Violations) == 0 {
+		t.Fatalf("missing metric not gated: %+v", rep)
+	}
+	// p99 ceiling gate: a stub op is fast, so a 1ns ceiling must trip.
+	rep, _ = runStub(t, http.StatusOK, Config{MaxP99: time.Nanosecond})
+	if len(rep.Violations) == 0 {
+		t.Fatal("p99 ceiling not enforced")
+	}
+}
+
+// TestHandlerDoer exercises the in-process transport end to end.
+func TestHandlerDoer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	d := &HandlerDoer{Handler: mux}
+	st, body, err := d.Do(Request{Method: "POST", Path: "/v1/topk", Body: []byte(`{}`)})
+	if err != nil || st != 200 || string(body) != `{"ok":true}` {
+		t.Fatalf("st=%d body=%q err=%v", st, body, err)
+	}
+	st, _, err = d.Do(Request{Method: "GET", Path: "/nope"})
+	if err != nil || st != 404 {
+		t.Fatalf("want 404, got %d err %v", st, err)
+	}
+}

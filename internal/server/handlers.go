@@ -106,7 +106,10 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // instead of hanging.
 func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
 	for {
-		if body, ok := s.cache.get(key); ok {
+		lookupStart := time.Now()
+		body, ok := s.cache.get(key)
+		s.metrics.cacheLookup.Observe(time.Since(lookupStart).Seconds())
+		if ok {
 			s.stats.cacheHits.Add(1)
 			writeJSONBytes(w, http.StatusOK, body)
 			return
@@ -413,31 +416,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleStatsz renders the same snapshot /metrics scrapes from — one
+// code path, one consistency contract (see metrics.go): counters are
+// read once each, outcomes before the requests total, so no outcome
+// can exceed requests within a single response.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	eng := s.Engine()
-	pt := eng.PlannerTotals()
+	snap := s.statsSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		EngineFingerprint: fmt.Sprintf("%016x", eng.Fingerprint()),
-		Tables:            eng.NumTables(),
-		Attributes:        eng.NumAttributes(),
-		Requests:          s.stats.requests.Load(),
-		InFlight:          s.stats.inFlight.Load(),
-		CacheHits:         s.stats.cacheHits.Load(),
-		CacheMisses:       s.stats.cacheMisses.Load(),
-		Coalesced:         s.stats.coalesced.Load(),
-		CacheEntries:      s.cache.len(),
-		Rejected:          s.stats.rejected.Load(),
-		Unavailable:       s.stats.unavailable.Load(),
-		Timeouts:          s.stats.timeouts.Load(),
-		Canceled:          s.stats.canceled.Load(),
-		Mutations:         s.stats.mutations.Load(),
-		Reloads:           s.stats.reloads.Load(),
+		EngineFingerprint: fmt.Sprintf("%016x", snap.EngineFingerprint),
+		Tables:            snap.Tables,
+		Attributes:        snap.Attributes,
+		Requests:          snap.Requests,
+		InFlight:          snap.InFlight,
+		CacheHits:         snap.CacheHits,
+		CacheMisses:       snap.CacheMisses,
+		Coalesced:         snap.Coalesced,
+		CacheEntries:      snap.CacheEntries,
+		Rejected:          snap.Rejected,
+		Unavailable:       snap.Unavailable,
+		Timeouts:          snap.Timeouts,
+		Canceled:          snap.Canceled,
+		Mutations:         snap.Mutations,
+		Reloads:           snap.Reloads,
 
-		PlanCacheHits:       pt.PlanCacheHits,
-		PlanCacheMisses:     pt.PlanCacheMisses,
-		TablesPruned:        pt.TablesPruned,
-		PairsPruned:         pt.PairsPruned,
-		EvidenceEvalsElided: pt.EvidenceEvalsElided,
+		PlanCacheHits:       snap.Planner.PlanCacheHits,
+		PlanCacheMisses:     snap.Planner.PlanCacheMisses,
+		TablesPruned:        snap.Planner.TablesPruned,
+		PairsPruned:         snap.Planner.PairsPruned,
+		EvidenceEvalsElided: snap.Planner.EvidenceEvalsElided,
 	})
 }
 

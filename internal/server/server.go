@@ -111,12 +111,13 @@ type stats struct {
 // Server serves a d3l.Engine over HTTP. Create one with New; it
 // implements http.Handler. All methods are safe for concurrent use.
 type Server struct {
-	cfg    Config
-	engine atomic.Pointer[d3l.Engine]
-	cache  *resultCache
-	gate   chan struct{}
-	stats  stats
-	mux    *http.ServeMux
+	cfg     Config
+	engine  atomic.Pointer[d3l.Engine]
+	cache   *resultCache
+	gate    chan struct{}
+	stats   stats
+	metrics *serverMetrics
+	mux     *http.ServeMux
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // gated work only (queries and mutations)
@@ -212,6 +213,8 @@ func New(engine *d3l.Engine, cfg Config) (*Server, error) {
 	// from the first request on, keeping the steady-state query path
 	// allocation-free across requests.
 	engine.PrewarmScratch(cfg.MaxConcurrent)
+	s.metrics = newServerMetrics(s)
+	engine.SetStageObserver(s.metrics.observeCoreStage)
 	s.engine.Store(engine)
 	s.routes()
 	return s, nil
@@ -229,6 +232,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
 	})
@@ -275,6 +279,10 @@ func (s *Server) Swap(engine *d3l.Engine) error {
 	// admission capacity so the swap does not reintroduce allocation
 	// churn under live traffic.
 	engine.PrewarmScratch(s.cfg.MaxConcurrent)
+	// Stage timings must keep flowing across the swap: the observer is
+	// per-engine state, so the incoming engine gets its own registration
+	// before it takes traffic.
+	engine.SetStageObserver(s.metrics.observeCoreStage)
 	s.engine.Store(engine)
 	s.swapGen.Add(1)
 	s.cache.purge()
@@ -407,10 +415,17 @@ func (s *Server) admitWork(ctx context.Context, fn func(context.Context) ([]byte
 		s.stats.unavailable.Add(1)
 		return nil, false, errUnavailable
 	}
+	// The admission_wait stage spans every exit of the gate: the
+	// uncontended fast path (sub-microsecond), a queued wait that won a
+	// slot, and waits that ended in rejection or client cancellation —
+	// so the histogram's upper quantiles surface queueing pressure
+	// before the 429 counter moves.
+	admitStart := time.Now()
 	select {
 	case s.gate <- struct{}{}:
 	default:
 		if s.cfg.AdmissionWait <= 0 {
+			s.metrics.admissionWait.Observe(time.Since(admitStart).Seconds())
 			s.stats.rejected.Add(1)
 			return nil, false, errOverloaded
 		}
@@ -419,12 +434,15 @@ func (s *Server) admitWork(ctx context.Context, fn func(context.Context) ([]byte
 		select {
 		case s.gate <- struct{}{}:
 		case <-wait.C:
+			s.metrics.admissionWait.Observe(time.Since(admitStart).Seconds())
 			s.stats.rejected.Add(1)
 			return nil, false, errOverloaded
 		case <-ctx.Done():
+			s.metrics.admissionWait.Observe(time.Since(admitStart).Seconds())
 			return nil, false, ctx.Err()
 		}
 	}
+	s.metrics.admissionWait.Observe(time.Since(admitStart).Seconds())
 	// Re-check after acquiring: BeginShutdown may have landed while we
 	// waited, and draining must win over a just-freed slot. register
 	// couples the check to the WaitGroup join so Shutdown's Wait can

@@ -36,8 +36,8 @@ func cmdLoadgen(args []string) error {
 	k := fs.Int("k", 5, "answer size per query")
 	targets := fs.Int("targets", 8, "target tables sampled from the lake")
 	targetRows := fs.Int("target-rows", 8, "rows per sampled target table")
-	mix := fs.String("mix", "topk=4,query=4,batch=1,mutate=1",
-		"weighted op mix op=weight[,...]; ops: topk query batch mutate reload (weight 0 drops an op)")
+	mix := fs.String("mix", "topk=4,query=4,batch=1,mutate=1,update=1",
+		"weighted op mix op=weight[,...]; ops: topk query batch mutate update reload (weight 0 drops an op)")
 	out := fs.String("out", "", "write the SLO report JSON to this file (default stdout)")
 	failOn5xx := fs.Bool("fail-on-5xx", true, "gate: fail the run on any status >= 500")
 	maxP99 := fs.Duration("max-p99", 0, "gate: per-endpoint p99 ceiling (0 disables)")
@@ -227,13 +227,42 @@ func buildWorkload(corpus []server.TableJSON, mix string, k int) ([]loadgen.OpSp
 		})
 	}
 	delete(weights, "mutate")
+	if w := weights["update"]; w > 0 {
+		churnRows := corpus[0].Rows
+		ops = append(ops, loadgen.OpSpec{
+			Name:   "update",
+			Weight: w,
+			// Add → in-place update → delete, per-worker name. The PUT
+			// body rewrites exactly one column, so every accepted update
+			// exercises the delta re-profiling path (1 column of C) and
+			// advances d3l_update_delta_cols_total by one. 404/409 are
+			// accepted for split sequences, as with mutate.
+			Accept: []int{404, 409},
+			VariantsFor: func(worker int) [][]loadgen.Request {
+				name := fmt.Sprintf("loadgen_update_w%d", worker)
+				base := server.TableJSON{Name: name, Columns: corpus[0].Columns, Rows: churnRows}
+				changed := server.TableJSON{Name: name, Columns: corpus[0].Columns}
+				for _, row := range churnRows {
+					row2 := append([]string(nil), row...)
+					row2[0] += "_v2"
+					changed.Rows = append(changed.Rows, row2)
+				}
+				return [][]loadgen.Request{{
+					{Method: "POST", Path: "/v1/tables", Body: marshal(server.AddTableRequest{Table: base})},
+					{Method: "PUT", Path: "/v1/tables/" + name, Body: marshal(server.UpdateTableRequest{Table: changed})},
+					{Method: "DELETE", Path: "/v1/tables/" + name},
+				}}
+			},
+		})
+	}
+	delete(weights, "update")
 	if w := weights["reload"]; w > 0 {
 		ops = append(ops, loadgen.OpSpec{Name: "reload", Weight: w,
 			Variants: [][]loadgen.Request{{{Method: "POST", Path: "/v1/reload"}}}})
 	}
 	delete(weights, "reload")
 	for name := range weights {
-		return nil, fmt.Errorf("loadgen: unknown op %q in -mix (want topk, query, batch, mutate, reload)", name)
+		return nil, fmt.Errorf("loadgen: unknown op %q in -mix (want topk, query, batch, mutate, update, reload)", name)
 	}
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("loadgen: -mix selects no operations")

@@ -14,9 +14,10 @@
 //	                [-explain-plan] [-no-planner]
 //	d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
 //	d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
-//	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-pprof 127.0.0.1:6060]
+//	d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-pprof 127.0.0.1:6060] [-watch]
+//	d3l watch       -dir DIR [-index FILE.d3l] [-interval D]
 //	d3l loadgen     -url URL | -direct  -index FILE.d3l | -dir DIR  [-duration D] [-seed N]
-//	                [-mix topk=4,query=4,batch=1,mutate=1] [-out FILE.json] [-max-p99 D]
+//	                [-mix topk=4,query=4,batch=1,mutate=1,update=1] [-out FILE.json] [-max-p99 D]
 //	d3l stats       -dir DIR
 //	d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]
 //
@@ -72,6 +73,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
 	case "stats":
@@ -102,8 +105,10 @@ func usage() {
   d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
   d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-pprof ADDR]
+                  [-watch] [-watch-interval D]
+  d3l watch       -dir DIR [-index FILE.d3l] [-interval D]
   d3l loadgen     -url URL | -direct  -index FILE.d3l | -dir DIR  [-duration D] [-warmup D]
-                  [-workers N] [-seed N] [-mix topk=4,query=4,batch=1,mutate=1] [-out FILE.json]
+                  [-workers N] [-seed N] [-mix topk=4,query=4,batch=1,mutate=1,update=1] [-out FILE.json]
                   [-fail-on-5xx] [-max-p99 D] [-require-metrics]
   d3l stats       -dir DIR
   d3l exp         -id all|fig2|tab1|exp1..exp11|weights [-scale small|paper]

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"d3l/internal/server"
+	"d3l/internal/watch"
 )
 
 // cmdServe runs the HTTP serving subsystem over a prebuilt snapshot
@@ -41,8 +42,13 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", 0, "request body size limit in bytes before 413 (0 = 32MiB)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
+	watchDir := fs.Bool("watch", false, "poll -dir for CSV changes and fold them into the serving engine (requires -dir)")
+	watchInterval := fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watchDir && *dir == "" {
+		return fmt.Errorf("serve: -watch requires -dir")
 	}
 	engine, err := loadEngine(*dir, *index)
 	if err != nil {
@@ -109,6 +115,28 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "d3l serve: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 
+	// -watch folds filesystem churn in -dir into the serving engine
+	// through the same gate HTTP mutations use: admission control,
+	// result-cache purge, and the mutation/update counters. The watcher
+	// is cancelled before drain begins so shutdown never races a cycle.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *watchDir {
+		w := watch.New(*dir, serverSink{srv})
+		w.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "d3l serve: "+format+"\n", a...)
+		}
+		if err := w.Seed(); err != nil {
+			return err
+		}
+		go func() {
+			if err := w.Run(watchCtx, *watchInterval); err != nil && err != context.Canceled {
+				fmt.Fprintln(os.Stderr, "d3l serve: watch:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "d3l serve: watching %s every %v\n", *dir, *watchInterval)
+	}
+
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -135,6 +163,7 @@ func cmdServe(args []string) error {
 		return err
 	case sig := <-stop:
 		fmt.Fprintf(os.Stderr, "d3l serve: %v, draining\n", sig)
+		stopWatch()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain order: flip health checks to 503 and reject new work

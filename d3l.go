@@ -89,6 +89,9 @@ type (
 	QueryStage = core.QueryStage
 	// StageObserver receives per-stage wall times of ranking queries.
 	StageObserver = core.StageObserver
+	// UpdateStats reports what an in-place Update re-profiled, kept,
+	// added and dropped — see Engine.Update.
+	UpdateStats = core.UpdateStats
 )
 
 // Query pipeline stages, in execution order. Stage.String() yields the
@@ -110,6 +113,12 @@ var ErrTableNotFound = core.ErrTableNotFound
 // ErrDuplicateTable reports an Add of a table whose name is already
 // in the lake; the HTTP serving layer maps it to 409.
 var ErrDuplicateTable = table.ErrDuplicateName
+
+// ErrInvalidTableName reports an Add of a table whose name cannot
+// round-trip through the on-disk lake layout (empty, ".", "..", or
+// containing a path separator or NUL); the HTTP serving layer maps it
+// to 400.
+var ErrInvalidTableName = table.ErrInvalidName
 
 // Evidence type constants.
 const (
@@ -221,6 +230,38 @@ func (e *Engine) Add(t *Table) (int, error) {
 	}
 	e.invalidateGraph()
 	return id, nil
+}
+
+// Update re-indexes the named table in place with delta re-profiling:
+// columns whose name, type and extent are unchanged keep their
+// attribute ids, profiles and forest keys; changed and added columns
+// are re-profiled and re-spliced; dropped columns leave the indexes.
+// The table keeps its id, and the answer set afterwards is the same
+// as after Remove followed by Add of the new contents — only cheaper.
+// The table must exist (ErrTableNotFound otherwise); re-profiling —
+// the expensive part — runs outside the core engine's lock, so
+// in-flight queries are blocked only for the index splice. A lake
+// loaded from a snapshot carries no extents to diff against, so the
+// first Update of each table there falls back to a full re-profile.
+func (e *Engine) Update(t *Table) (UpdateStats, error) {
+	if t == nil {
+		return UpdateStats{}, fmt.Errorf("d3l: nil table")
+	}
+	// Hold the mutation lock across plan and apply so no other mutation
+	// interleaves between the diff and the splice; PlanUpdate profiles
+	// under at most the core read lock, so queries keep flowing.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	plan, err := e.core.PlanUpdate(t)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	stats, err := e.core.UpdateProfiled(plan)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	e.invalidateGraph()
+	return stats, nil
 }
 
 // Remove deletes a table by name from every index, making it

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"d3l/internal/table"
+)
+
+// This file is the in-place mutation half of the living-lake layer:
+// Update re-indexes a table that changed on the outside without
+// re-profiling what did not change. Columns are matched by name against
+// the stored table; a column whose name, type and extent are identical
+// keeps its attribute id, its profile and its forest keys untouched
+// (only its column position and subject flag may move). Changed, added
+// and dropped columns go through the same delete/insert machinery as
+// Remove and AddProfiled, under one write-lock critical section with
+// the same all-or-nothing rollback discipline.
+
+// UpdateStats reports what one Update actually did. Reprofiled is the
+// delta the serving layer's update_delta_cols counter accumulates: the
+// number of columns whose profiles were computed fresh (changed plus
+// added); Kept columns reused their existing attribute id and forest
+// keys wholesale.
+type UpdateStats struct {
+	TableID    int
+	Reprofiled int // columns profiled fresh (changed + added)
+	Kept       int // columns that kept attribute id, profile and forest keys
+	Added      int // incoming column names the stored table did not have
+	Dropped    int // stored column names the incoming table no longer has
+}
+
+// UpdatePlan carries the pre-computed half of an Update: the incoming
+// table, fresh profiles for every column the diff flagged as changed,
+// and the subject classification. Build one with PlanUpdate (no write
+// lock held), apply it with UpdateProfiled. A plan is single-use and
+// tied to the engine that produced it.
+type UpdatePlan struct {
+	table      *table.Table
+	profiles   []Profile // per incoming column; valid iff profiled[i]
+	profiled   []bool
+	subjectIdx int
+}
+
+// columnUnchanged reports whether a stored column and an incoming
+// column carry identical content. Name, inferred type and the full
+// extent must match; profiles are deterministic functions of exactly
+// these inputs, so an unchanged column's retained profile equals the
+// one a re-profile would compute.
+func columnUnchanged(old, new *table.Column) bool {
+	if old.Name != new.Name || old.Type != new.Type || len(old.Values) != len(new.Values) {
+		return false
+	}
+	for i := range old.Values {
+		if old.Values[i] != new.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasDupColumnNames reports whether any two columns share a name.
+// table.New disambiguates headers at ingest, but tables assembled by
+// hand can still collide — and name-keyed diffing would then be
+// ambiguous.
+func hasDupColumnNames(t *table.Table) bool {
+	seen := make(map[string]struct{}, len(t.Columns))
+	for _, c := range t.Columns {
+		if _, dup := seen[c.Name]; dup {
+			return true
+		}
+		seen[c.Name] = struct{}{}
+	}
+	return false
+}
+
+// diffColumnsLocked matches the incoming table's columns against the
+// stored table tid by name. It returns one entry per incoming column:
+// the attribute id to keep for an unchanged column, or -1 for a column
+// that needs a fresh profile. The caller holds e.mu (either mode).
+//
+// Two situations disable matching entirely (every entry -1, a full
+// re-profile — always correct, never wrong, just more work): a stored
+// table that is metadata-only (snapshot-loaded lakes carry no extents
+// to diff against) and duplicate column names on either side.
+func (e *Engine) diffColumnsLocked(tid int, t *table.Table) []int {
+	keep := make([]int, t.Arity())
+	for j := range keep {
+		keep[j] = -1
+	}
+	old := e.lake.Table(tid)
+	if old.MetaOnly() || hasDupColumnNames(old) || hasDupColumnNames(t) {
+		return keep
+	}
+	oldIdx := make(map[string]int, len(old.Columns))
+	for i, c := range old.Columns {
+		oldIdx[c.Name] = i
+	}
+	attrs := e.byTable[tid]
+	for j, c := range t.Columns {
+		i, ok := oldIdx[c.Name]
+		if !ok || i >= len(attrs) {
+			continue
+		}
+		if columnUnchanged(old.Columns[i], c) {
+			keep[j] = attrs[i]
+		}
+	}
+	return keep
+}
+
+// PlanUpdate diffs t against the stored table of the same name (read
+// lock only) and profiles the columns that changed — the expensive
+// part, run with no lock held so queries keep flowing. The stored
+// table may change between PlanUpdate and UpdateProfiled; the apply
+// step re-diffs under the write lock, so a stale plan costs at most
+// some wasted or extra profiling, never a wrong index.
+func (e *Engine) PlanUpdate(t *table.Table) (*UpdatePlan, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil table")
+	}
+	e.mu.RLock()
+	tid, ok := e.lake.IDByName(t.Name)
+	var keep []int
+	if ok {
+		keep = e.diffColumnsLocked(tid, t)
+	}
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, t.Name)
+	}
+	plan := &UpdatePlan{
+		table:      t,
+		profiles:   make([]Profile, t.Arity()),
+		profiled:   make([]bool, t.Arity()),
+		subjectIdx: e.classifier.SubjectIndex(t),
+	}
+	var scratch profileScratch
+	for j, col := range t.Columns {
+		if keep[j] >= 0 {
+			continue
+		}
+		plan.profiles[j] = e.prof.profileColumn(AttrRef{TableID: tid, Column: j}, col, &scratch)
+		plan.profiled[j] = true
+	}
+	return plan, nil
+}
+
+// Update re-indexes t in place: unchanged columns keep their attribute
+// ids and forest keys, changed ones are re-profiled and re-spliced,
+// and the table keeps its id. It is PlanUpdate followed by
+// UpdateProfiled — profiling happens between the read and write
+// critical sections, so queries are blocked only for the splice.
+// Callers that must not interleave with other mutations (the public
+// d3l engine) serialise the pair under their own mutation lock.
+func (e *Engine) Update(t *table.Table) (UpdateStats, error) {
+	plan, err := e.PlanUpdate(t)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return e.UpdateProfiled(plan)
+}
+
+// UpdateProfiled applies an UpdatePlan under the write lock. The diff
+// is recomputed against the current stored table (a mutation may have
+// landed since PlanUpdate); columns the fresh diff flags as changed
+// but the plan did not pre-profile are profiled here, inside the lock
+// — correctness never depends on the plan being current, because a
+// profile is a function of the incoming column alone.
+//
+// The splice is all-or-nothing, like AddProfiled: old attributes of
+// changed and dropped columns are un-spliced and new profiles appended
+// and inserted; any forest failure restores every profile, key and
+// bookkeeping entry before returning, so a failed Update leaves the
+// engine answering queries exactly as before.
+func (e *Engine) UpdateProfiled(plan *UpdatePlan) (UpdateStats, error) {
+	if plan == nil || plan.table == nil {
+		return UpdateStats{}, fmt.Errorf("core: nil update plan")
+	}
+	t := plan.table
+	for j := range plan.profiles {
+		if plan.profiled[j] {
+			assertSortedExtent(&plan.profiles[j], "UpdateProfiled")
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tid, ok := e.lake.IDByName(t.Name)
+	if !ok {
+		return UpdateStats{}, fmt.Errorf("%w: no table %q in the lake", ErrTableNotFound, t.Name)
+	}
+	keep := e.diffColumnsLocked(tid, t)
+	var scratch *profileScratch
+	for j, col := range t.Columns {
+		if keep[j] >= 0 || plan.profiled[j] {
+			continue
+		}
+		if scratch == nil {
+			scratch = &profileScratch{}
+		}
+		plan.profiles[j] = e.prof.profileColumn(AttrRef{TableID: tid, Column: j}, col, scratch)
+		plan.profiled[j] = true
+	}
+
+	kept := make(map[int]bool, len(keep))
+	for _, aid := range keep {
+		if aid >= 0 {
+			kept[aid] = true
+		}
+	}
+	oldAttrs := e.byTable[tid]
+	var drop []int // old attribute ids losing their index entries
+	for _, aid := range oldAttrs {
+		if !kept[aid] {
+			drop = append(drop, aid)
+		}
+	}
+
+	// Un-splice the dropped attributes, remembering their profiles so a
+	// later failure can restore them. deleteForests errors only on a
+	// signature-shape mismatch — a programming error, but roll back the
+	// fully-deleted attributes anyway rather than leave a torn index.
+	saved := make([]Profile, len(drop))
+	for i, aid := range drop {
+		saved[i] = e.profiles[aid]
+		if err := e.deleteForests(aid, &e.profiles[aid]); err != nil {
+			for k := 0; k < i; k++ {
+				e.insertForests(drop[k], &saved[k])
+			}
+			return UpdateStats{}, err
+		}
+	}
+
+	// Append and splice the fresh profiles. On failure, unwind: delete
+	// the keys this loop inserted, truncate the profile tail, and
+	// re-splice the dropped attributes from their saved profiles.
+	preAttrs := len(e.profiles)
+	newAttr := make([]int, t.Arity())
+	for j := range t.Columns {
+		if keep[j] >= 0 {
+			newAttr[j] = keep[j]
+			continue
+		}
+		p := plan.profiles[j]
+		p.Ref = AttrRef{TableID: tid, Column: j}
+		p.Subject = j == plan.subjectIdx
+		attrID := len(e.profiles)
+		e.profiles = append(e.profiles, p)
+		newAttr[j] = attrID
+		if err := e.insertForests(attrID, &e.profiles[attrID]); err != nil {
+			for aid := preAttrs; aid < attrID; aid++ {
+				e.deleteForests(aid, &e.profiles[aid])
+			}
+			e.profiles = e.profiles[:preAttrs]
+			for i, aid := range drop {
+				e.profiles[aid] = saved[i]
+				e.insertForests(aid, &saved[i])
+			}
+			return UpdateStats{}, err
+		}
+	}
+
+	// Point of no return: every forest write succeeded. Tombstone the
+	// dropped profiles to metadata stubs (as Remove does, so churn does
+	// not accumulate dead signatures), refresh the kept profiles'
+	// position-dependent fields, and commit the bookkeeping.
+	for _, aid := range drop {
+		p := &e.profiles[aid]
+		e.profiles[aid] = Profile{
+			Ref:     p.Ref,
+			Name:    p.Name,
+			Numeric: p.Numeric,
+			Subject: p.Subject,
+			EZero:   true,
+		}
+	}
+	e.subjects[tid] = -1
+	for j := range t.Columns {
+		aid := newAttr[j]
+		if keep[j] >= 0 {
+			// In-place write under the write lock — see the Profile
+			// method doc for the pointer-retention rule this relies on.
+			e.profiles[aid].Ref.Column = j
+			e.profiles[aid].Subject = j == plan.subjectIdx
+		}
+		if j == plan.subjectIdx {
+			e.subjects[tid] = aid
+		}
+	}
+	e.byTable[tid] = newAttr
+	e.lake.Replace(t)
+	e.bumpVersion()
+
+	stats := UpdateStats{TableID: tid}
+	for j := range keep {
+		if keep[j] >= 0 {
+			stats.Kept++
+		} else {
+			stats.Reprofiled++
+		}
+	}
+	oldNames := make(map[string]struct{}, len(oldAttrs))
+	for _, aid := range oldAttrs {
+		oldNames[e.profiles[aid].Name] = struct{}{}
+	}
+	newNames := make(map[string]struct{}, t.Arity())
+	for _, c := range t.Columns {
+		newNames[c.Name] = struct{}{}
+		if _, ok := oldNames[c.Name]; !ok {
+			stats.Added++
+		}
+	}
+	for name := range oldNames {
+		if _, ok := newNames[name]; !ok {
+			stats.Dropped++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenUpdateWire pins the PUT /v1/tables/{name} wire shape — the
+// success body (delta fields included) and the 409/405 error envelopes
+// — to a committed fixture. It runs against its own server instance,
+// never the shared goldenWorld: a mutation there would perturb every
+// other golden fixture.
+func TestGoldenUpdateWire(t *testing.T) {
+	_, hs := newTestServer(t, figure1Engine(t), Config{})
+
+	okStatus, okBody := putJSON(t, hs.URL+"/v1/tables/S1", UpdateTableRequest{Table: s1PatientsChanged()})
+	if okStatus != http.StatusOK {
+		t.Fatalf("PUT status %d: %s", okStatus, okBody)
+	}
+	mismatch := s1PatientsChanged()
+	mismatch.Name = "S2"
+	conflictStatus, conflictBody := putJSON(t, hs.URL+"/v1/tables/S1", UpdateTableRequest{Table: mismatch})
+	if conflictStatus != http.StatusConflict {
+		t.Fatalf("mismatch PUT status %d: %s", conflictStatus, conflictBody)
+	}
+	mnaStatus, mnaBody := doRequest(t, http.MethodGet, hs.URL+"/v1/tables/S1", nil)
+	if mnaStatus != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d: %s", mnaStatus, mnaBody)
+	}
+
+	composite, err := json.Marshal(map[string]json.RawMessage{
+		"ok":               okBody,
+		"conflict":         conflictBody,
+		"methodNotAllowed": mnaBody,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(indentJSON(t, composite), '\n')
+
+	path := filepath.Join("testdata", "golden", "update_put.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v — run `go test ./internal/server -run Golden -update` to generate fixtures", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PUT wire shape diverged from %s:\n%s\n(intentional? regenerate with -update)",
+			path, firstDivergence(want, got))
+	}
+}

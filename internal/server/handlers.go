@@ -76,6 +76,8 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 	case errors.Is(err, d3l.ErrDuplicateTable):
 		writeError(w, http.StatusConflict, CodeConflict, err.Error())
+	case errors.Is(err, d3l.ErrInvalidTableName):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client went away while we waited; the status is written
 		// for completeness (the connection is usually gone).
@@ -374,6 +376,67 @@ func (s *Server) handleAddTable(w http.ResponseWriter, r *http.Request) {
 	writeJSONBytes(w, http.StatusOK, body)
 }
 
+// handleUpdateTable is PUT /v1/tables/{name}: replace the named
+// table's contents in place with delta re-profiling. The status matrix
+// matches the add/DELETE envelope: 400 for a bad body or invalid name,
+// 404 for an unknown table, 409 when the path and body names disagree
+// (one request must not mutate a table other than the one it
+// addresses).
+func (s *Server) handleUpdateTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "table name is required")
+		return
+	}
+	var req UpdateTableRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Table.Name != name {
+		writeError(w, http.StatusConflict, CodeConflict,
+			fmt.Sprintf("path names table %q but body names %q", name, req.Table.Name))
+		return
+	}
+	t, err := req.Table.toTable()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	body, err := s.admitMutation(r.Context(), func() ([]byte, error) {
+		s.swapMu.RLock()
+		defer s.swapMu.RUnlock()
+		stats, err := s.Engine().Update(t)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.mutations.Add(1)
+		s.CountUpdate(stats.Reprofiled)
+		s.cache.purge()
+		return json.Marshal(UpdateTableResponse{
+			Updated:        name,
+			ID:             stats.TableID,
+			ReprofiledCols: stats.Reprofiled,
+			KeptCols:       stats.Kept,
+			AddedCols:      stats.Added,
+			DroppedCols:    stats.Dropped,
+		})
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// handleTableMethodNotAllowed answers any method on /v1/tables/{name}
+// other than the registered PUT and DELETE with a 405 in the uniform
+// envelope, Allow header included.
+func (s *Server) handleTableMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Allow", "PUT, DELETE")
+	writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		fmt.Sprintf("method %s is not allowed on /v1/tables/{name}; use PUT or DELETE", r.Method))
+}
+
 func (s *Server) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if strings.TrimSpace(name) == "" {
@@ -437,6 +500,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Timeouts:          snap.Timeouts,
 		Canceled:          snap.Canceled,
 		Mutations:         snap.Mutations,
+		Updates:           snap.Updates,
+		UpdateDeltaCols:   snap.UpdateDeltaCols,
 		Reloads:           snap.Reloads,
 
 		PlanCacheHits:       snap.Planner.PlanCacheHits,

@@ -80,6 +80,8 @@ var metricFamilyNames = []string{
 	"d3l_timeouts_total",
 	"d3l_canceled_total",
 	"d3l_mutations_total",
+	"d3l_updates_total",
+	"d3l_update_delta_cols_total",
 	"d3l_reloads_total",
 	"d3l_plan_cache_hits_total",
 	"d3l_plan_cache_misses_total",
@@ -144,17 +146,19 @@ func (m *serverMetrics) observeCoreStage(stage d3l.QueryStage, d time.Duration) 
 // consistency contract at the top of this file: each field is read
 // exactly once, outcome counters before Requests.
 type countersSnapshot struct {
-	InFlight    int64
-	CacheHits   int64
-	CacheMisses int64
-	Coalesced   int64
-	Rejected    int64
-	Unavailable int64
-	Timeouts    int64
-	Canceled    int64
-	Mutations   int64
-	Reloads     int64
-	Requests    int64
+	InFlight        int64
+	CacheHits       int64
+	CacheMisses     int64
+	Coalesced       int64
+	Rejected        int64
+	Unavailable     int64
+	Timeouts        int64
+	Canceled        int64
+	Mutations       int64
+	Updates         int64
+	UpdateDeltaCols int64
+	Reloads         int64
+	Requests        int64
 }
 
 // snapshot reads every counter once. Requests is deliberately read
@@ -163,16 +167,18 @@ type countersSnapshot struct {
 // outcomes guarantees outcomes ≤ requests in every snapshot.
 func (st *stats) snapshot() countersSnapshot {
 	s := countersSnapshot{
-		InFlight:    st.inFlight.Load(),
-		CacheHits:   st.cacheHits.Load(),
-		CacheMisses: st.cacheMisses.Load(),
-		Coalesced:   st.coalesced.Load(),
-		Rejected:    st.rejected.Load(),
-		Unavailable: st.unavailable.Load(),
-		Timeouts:    st.timeouts.Load(),
-		Canceled:    st.canceled.Load(),
-		Mutations:   st.mutations.Load(),
-		Reloads:     st.reloads.Load(),
+		InFlight:        st.inFlight.Load(),
+		CacheHits:       st.cacheHits.Load(),
+		CacheMisses:     st.cacheMisses.Load(),
+		Coalesced:       st.coalesced.Load(),
+		Rejected:        st.rejected.Load(),
+		Unavailable:     st.unavailable.Load(),
+		Timeouts:        st.timeouts.Load(),
+		Canceled:        st.canceled.Load(),
+		Mutations:       st.mutations.Load(),
+		Updates:         st.updates.Load(),
+		UpdateDeltaCols: st.updateDeltaCols.Load(),
+		Reloads:         st.reloads.Load(),
 	}
 	s.Requests = st.requests.Load()
 	return s
@@ -221,7 +227,9 @@ func (s *Server) collectStats(w *metrics.Writer) {
 	w.Counter("d3l_unavailable_total", "Requests rejected 503 while draining.", float64(snap.Unavailable))
 	w.Counter("d3l_timeouts_total", "Requests that exceeded the execution deadline (503, work cancelled).", float64(snap.Timeouts))
 	w.Counter("d3l_canceled_total", "Requests whose client disconnected mid-computation (work cancelled).", float64(snap.Canceled))
-	w.Counter("d3l_mutations_total", "Acknowledged table adds and removes.", float64(snap.Mutations))
+	w.Counter("d3l_mutations_total", "Acknowledged table adds, updates and removes.", float64(snap.Mutations))
+	w.Counter("d3l_updates_total", "Acknowledged in-place table updates (subset of mutations).", float64(snap.Updates))
+	w.Counter("d3l_update_delta_cols_total", "Columns re-profiled by in-place updates (the update delta).", float64(snap.UpdateDeltaCols))
 	w.Counter("d3l_reloads_total", "Hot snapshot reloads that swapped the serving engine.", float64(snap.Reloads))
 	w.Counter("d3l_plan_cache_hits_total", "Prepared-plan cache hits (current engine lifetime).", float64(snap.Planner.PlanCacheHits))
 	w.Counter("d3l_plan_cache_misses_total", "Prepared-plan cache misses (current engine lifetime).", float64(snap.Planner.PlanCacheMisses))

@@ -106,6 +106,13 @@ type stats struct {
 	canceled    atomic.Int64
 	mutations   atomic.Int64
 	reloads     atomic.Int64
+	// updates counts acknowledged in-place table updates (a subset of
+	// mutations); updateDeltaCols accumulates how many columns those
+	// updates actually re-profiled — the delta that makes the
+	// incremental path observable (updates with a low column delta are
+	// the cheap ones).
+	updates         atomic.Int64
+	updateDeltaCols atomic.Int64
 }
 
 // Server serves a d3l.Engine over HTTP. Create one with New; it
@@ -228,7 +235,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/joins", s.handleJoins)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/tables", s.handleAddTable)
+	s.mux.HandleFunc("PUT /v1/tables/{name}", s.handleUpdateTable)
 	s.mux.HandleFunc("DELETE /v1/tables/{name}", s.handleRemoveTable)
+	// Method-less fallback for the per-table resource: a method other
+	// than PUT/DELETE answers 405 with the uniform envelope and an
+	// Allow header instead of the catch-all 404 (the resource exists;
+	// the method is what is wrong).
+	s.mux.HandleFunc("/v1/tables/{name}", s.handleTableMethodNotAllowed)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -320,6 +333,40 @@ func (s *Server) Reload() error {
 	}
 	s.stats.reloads.Add(1)
 	return nil
+}
+
+// MutateEngine runs fn against the serving engine under the same
+// contract as the HTTP mutation handlers: the swap read lock pins the
+// engine for the whole mutation (no acknowledged write lands on a
+// just-retired engine), the shutdown drain waits for it, and a
+// successful fn bumps the mutation counter and purges the result
+// cache. It is the programmatic mutation entry point for in-process
+// drivers — the watch-mode reconciler folds filesystem deltas through
+// it. A draining server rejects with errUnavailable (503 semantics)
+// without running fn.
+func (s *Server) MutateEngine(fn func(*d3l.Engine) error) error {
+	if !s.register() {
+		s.stats.unavailable.Add(1)
+		return errUnavailable
+	}
+	defer s.inflight.Done()
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
+	if err := fn(s.Engine()); err != nil {
+		return err
+	}
+	s.stats.mutations.Add(1)
+	s.cache.purge()
+	return nil
+}
+
+// CountUpdate folds one acknowledged in-place update into the serving
+// counters: the updates total and the re-profiled-column delta. The
+// watch reconciler calls it next to MutateEngine; the HTTP PUT handler
+// counts inline.
+func (s *Server) CountUpdate(reprofiledCols int) {
+	s.stats.updates.Add(1)
+	s.stats.updateDeltaCols.Add(int64(reprofiledCols))
 }
 
 // BeginShutdown puts the server into draining mode: health checks

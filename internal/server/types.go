@@ -349,6 +349,26 @@ type AddTableResponse struct {
 	Name string `json:"name"`
 }
 
+// UpdateTableRequest replaces the contents of one table in place
+// (PUT /v1/tables/{name}). The path names the table; the body carries
+// the new contents under the same name — a mismatch is a 409.
+type UpdateTableRequest struct {
+	Table TableJSON `json:"table"`
+}
+
+// UpdateTableResponse reports what the delta re-profile actually did:
+// how many columns were re-profiled (changed or added), kept with
+// their attribute ids intact, added and dropped. The id is unchanged
+// by construction — in-place updates never reassign it.
+type UpdateTableResponse struct {
+	Updated        string `json:"updated"`
+	ID             int    `json:"id"`
+	ReprofiledCols int    `json:"reprofiledCols"`
+	KeptCols       int    `json:"keptCols"`
+	AddedCols      int    `json:"addedCols"`
+	DroppedCols    int    `json:"droppedCols"`
+}
+
 // RemoveTableResponse acknowledges a removal.
 type RemoveTableResponse struct {
 	Removed string `json:"removed"`
@@ -381,6 +401,8 @@ type StatsResponse struct {
 	Timeouts          int64  `json:"timeouts"`    // 503: per-request deadline (work cancelled)
 	Canceled          int64  `json:"canceled"`    // client disconnected mid-computation (work cancelled)
 	Mutations         int64  `json:"mutations"`
+	Updates           int64  `json:"updates"`         // in-place table updates (subset of mutations)
+	UpdateDeltaCols   int64  `json:"updateDeltaCols"` // columns re-profiled by those updates
 	Reloads           int64  `json:"reloads"`
 	// Query-planner counters (see d3l.PlannerTotals). They describe the
 	// currently serving engine and reset with it on reload.
@@ -411,9 +433,14 @@ type ErrorDetail struct {
 
 // Error codes used in ErrorDetail.Code.
 const (
-	CodeBadRequest  = "bad_request" // 400: malformed JSON or invalid parameters
-	CodeNotFound    = "not_found"   // 404: unknown lake table or route
-	CodeConflict    = "conflict"    // 409: duplicate table name on add
+	CodeBadRequest = "bad_request" // 400: malformed JSON or invalid parameters
+	CodeNotFound   = "not_found"   // 404: unknown lake table or route
+	CodeConflict   = "conflict"    // 409: duplicate name on add, or path/body name mismatch on update
+
+	// CodeMethodNotAllowed is 405: the per-table resource exists but
+	// the method is not PUT or DELETE (the Allow header lists them).
+	CodeMethodNotAllowed = "method_not_allowed"
+
 	CodeTooLarge    = "too_large"   // 413: body exceeds MaxBodyBytes
 	CodeOverloaded  = "overloaded"  // 429: admission gate full
 	CodeInternal    = "internal"    // 500: unexpected engine failure

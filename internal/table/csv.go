@@ -108,12 +108,19 @@ func LoadLakeDir(dir string) (*Lake, error) {
 	return lake, nil
 }
 
-// SaveLakeDir writes every table of the lake as dir/<name>.csv.
+// SaveLakeDir writes every live table of the lake as dir/<name>.csv.
+// Detached slots — the name-only stubs Lake.Remove leaves so ids stay
+// stable — are skipped: a stub has no header, so writing it would
+// produce a CSV that LoadLakeDir rejects ("reading header: EOF") and
+// would resurrect a removed name on the next load.
 func SaveLakeDir(l *Lake, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, t := range l.Tables() {
+	for id, t := range l.Tables() {
+		if !l.live(id) {
+			continue
+		}
 		if err := t.WriteCSVFile(filepath.Join(dir, t.Name+".csv")); err != nil {
 			return err
 		}

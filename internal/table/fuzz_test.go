@@ -15,6 +15,8 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("a,b\n1\n1,2,3,4\n")                 // ragged rows both ways
 	f.Add("\"unclosed quote\na,b\n")           // malformed quoting
 	f.Add("a,a,a\nx,y,z\n")                    // duplicate headers
+	f.Add("name,name,name_2,name\nw,x,y,z\n")  // dedup collides with a real name_2
+	f.Add("\n")                                // 1-byte tombstone stub (the old SaveLakeDir bug)
 	f.Add("")                                  // empty input
 	f.Add("\n\n\n")                            // blank records
 	f.Add("a;b\r\n1;2\r\n")                    // CRLF, wrong delimiter
@@ -31,10 +33,17 @@ func FuzzReadCSV(f *testing.F) {
 			t.Fatalf("ReadCSV accepted %q but produced a table with no columns", data)
 		}
 		rows := tab.Rows()
+		seen := make(map[string]bool, tab.Arity())
 		for _, c := range tab.Columns {
 			if len(c.Values) != rows {
 				t.Fatalf("ReadCSV(%q): column %q has %d values, table has %d rows", data, c.Name, len(c.Values), rows)
 			}
+			// Ingest disambiguates duplicate headers; uniqueness is what
+			// lets the update path diff columns by name.
+			if seen[c.Name] {
+				t.Fatalf("ReadCSV(%q): duplicate column name %q survived ingest", data, c.Name)
+			}
+			seen[c.Name] = true
 		}
 		// The parsed table must survive the rest of the pipeline's
 		// basic accessors without panicking.

@@ -1,0 +1,216 @@
+package table
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Regression for the tombstone-stub bug: SaveLakeDir used to write the
+// name-only stubs Lake.Remove leaves behind as 1-byte CSV files, which
+// LoadLakeDir then rejected ("reading header: EOF") — a mutated lake
+// could not round-trip through disk. Detached slots must be skipped.
+func TestSaveLakeDirSkipsRemovedTables(t *testing.T) {
+	dir := t.TempDir()
+	l := NewLake()
+	mustAdd := func(name string, cols []string, rows [][]string) {
+		t.Helper()
+		tb, err := New(name, cols, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("keep", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	mustAdd("gone", []string{"x"}, [][]string{{"9"}})
+	mustAdd("churn", []string{"p", "q"}, [][]string{{"5", "6"}})
+
+	if _, ok := l.Remove("gone"); !ok {
+		t.Fatal("Remove(gone) failed")
+	}
+	// Removed-then-re-added name: the re-add lives in a NEW slot while
+	// the old slot still holds a detached stub with the same name —
+	// exactly one of them may reach disk.
+	if _, ok := l.Remove("churn"); !ok {
+		t.Fatal("Remove(churn) failed")
+	}
+	mustAdd("churn", []string{"p", "q"}, [][]string{{"7", "8"}, {"9", "10"}})
+
+	if err := SaveLakeDir(l, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	if len(files) != 2 {
+		t.Fatalf("saved files %v, want exactly keep.csv and churn.csv", files)
+	}
+
+	got, err := LoadLakeDir(dir)
+	if err != nil {
+		t.Fatalf("round-trip load failed (the tombstone-stub bug): %v", err)
+	}
+	if got.Len() != 2 || got.ByName("keep") == nil || got.ByName("churn") == nil {
+		t.Fatalf("round-trip lost tables: %d live", got.Len())
+	}
+	if got.ByName("gone") != nil {
+		t.Fatal("removed table resurrected by round-trip")
+	}
+	// The re-added churn content (not the detached stub's) survives.
+	if got.ByName("churn").Rows() != 2 {
+		t.Fatal("round-trip kept the wrong churn version")
+	}
+}
+
+// DataBytes must count live tables only: a removed table's bytes are
+// no longer part of the lake.
+func TestDataBytesSkipsRemovedTables(t *testing.T) {
+	l := NewLake()
+	tb, err := New("t", []string{"a"}, [][]string{{"hello"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Add(tb); err != nil {
+		t.Fatal(err)
+	}
+	before := l.DataBytes()
+	if before <= 0 {
+		t.Fatal("live table should count")
+	}
+	l.Remove("t")
+	if got := l.DataBytes(); got != 0 {
+		t.Fatalf("DataBytes after remove = %d, want 0", got)
+	}
+	_ = before
+}
+
+// Duplicate CSV headers used to be accepted silently, leaving two
+// columns indistinguishable by name. Ingest now disambiguates with
+// _2, _3… suffixes, stepping over suffixes the header already uses.
+func TestNewDisambiguatesDuplicateHeaders(t *testing.T) {
+	cases := []struct {
+		header []string
+		want   []string
+	}{
+		{[]string{"a", "a", "a"}, []string{"a", "a_2", "a_3"}},
+		{[]string{"name", "name", "name_2", "name"}, []string{"name", "name_3", "name_2", "name_4"}},
+		{[]string{"x", "y"}, []string{"x", "y"}},
+	}
+	for _, c := range cases {
+		row := make([]string, len(c.header))
+		for i := range row {
+			row[i] = "v"
+		}
+		tb, err := New("t", c.header, [][]string{row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tb.ColumnNames(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("New(%v) columns = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestReadCSVDisambiguatesDuplicateHeaders(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader("id,id\n1,2\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ColumnNames(); !reflect.DeepEqual(got, []string{"id", "id_2"}) {
+		t.Fatalf("columns = %v", got)
+	}
+	if tb.Columns[0].Values[0] != "1" || tb.Columns[1].Values[0] != "2" {
+		t.Fatal("values shuffled by disambiguation")
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"t", "my table", "a.b", "x-1_y", "café"} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "../../etc/passwd", "a\x00b"} {
+		err := ValidateName(bad)
+		if !errors.Is(err, ErrInvalidName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrInvalidName", bad, err)
+		}
+	}
+}
+
+// Lake.Add is the chokepoint: a table whose name would escape the lake
+// directory (SaveLakeDir writes dir/<name>.csv) must never get in.
+func TestLakeAddRejectsInvalidNames(t *testing.T) {
+	l := NewLake()
+	tb, err := New("../evil", []string{"a"}, [][]string{{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Add(tb); !errors.Is(err, ErrInvalidName) {
+		t.Fatalf("Add(../evil) = %v, want ErrInvalidName", err)
+	}
+	if l.Len() != 0 {
+		t.Fatal("rejected table left a slot behind")
+	}
+	// SaveLakeDir of a valid lake never writes outside dir — pin that
+	// the path-join of every saved name stays under the directory.
+	good, err := New("fine", []string{"a"}, [][]string{{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveLakeDir(l, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fine.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLakeReplaceKeepsIDAndName(t *testing.T) {
+	l := NewLake()
+	v1, err := New("t", []string{"a"}, [][]string{{"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Add(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New("t", []string{"a", "b"}, [][]string{{"2", "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.Replace(v2)
+	if !ok || got != id {
+		t.Fatalf("Replace = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if l.Table(id) != v2 || l.ByName("t") != v2 {
+		t.Fatal("Replace did not swap the stored table")
+	}
+	if _, ok := l.Replace(mustNew(t, "missing", []string{"a"}, [][]string{{"1"}})); ok {
+		t.Fatal("Replace of unknown name should report false")
+	}
+}
+
+func mustNew(t *testing.T, name string, cols []string, rows [][]string) *Table {
+	t.Helper()
+	tb, err := New(name, cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}

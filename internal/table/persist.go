@@ -17,10 +17,7 @@ import (
 func (l *Lake) EncodeMeta(b *persist.Buffer) {
 	b.U32(uint32(len(l.tables)))
 	for id, t := range l.tables {
-		live := false
-		if got, ok := l.byName[t.Name]; ok && got == id {
-			live = true
-		}
+		live := l.live(id)
 		b.Bool(live)
 		b.Str(t.Name)
 		if !live {
@@ -54,7 +51,9 @@ func DecodeLakeMeta(r *persist.Reader) (*Lake, error) {
 	for id := 0; id < n; id++ {
 		live := r.Bool()
 		name := r.Str()
-		t := &Table{Name: name}
+		// Decoded tables carry schema metadata only; the flag lets
+		// Engine.Update know content diffing against them is impossible.
+		t := &Table{Name: name, metaOnly: true}
 		if live {
 			cols := int(r.U32())
 			if err := r.Err(); err != nil {

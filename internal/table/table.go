@@ -18,6 +18,30 @@ import (
 // which races concurrent mutations.
 var ErrDuplicateName = errors.New("lake: duplicate table name")
 
+// ErrInvalidName reports a table name that cannot round-trip through
+// the on-disk lake layout. SaveLakeDir writes dir/<name>.csv, so a
+// name carrying a path separator or a dot-segment would escape the
+// lake directory; Add rejects such names up front (the HTTP serving
+// layer maps this to 400) instead of letting a later save scribble
+// outside the lake.
+var ErrInvalidName = errors.New("lake: invalid table name")
+
+// ValidateName reports whether a table name is safe to use as the
+// stem of a lake file: non-empty, not "." or "..", and free of path
+// separators and NUL. Lake.Add enforces it; watch-mode and the server
+// inherit the guarantee through that one boundary.
+func ValidateName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("%w: empty", ErrInvalidName)
+	case name == "." || name == "..":
+		return fmt.Errorf("%w: %q", ErrInvalidName, name)
+	case strings.ContainsAny(name, "/\\\x00"):
+		return fmt.Errorf("%w: %q contains a path separator or NUL", ErrInvalidName, name)
+	}
+	return nil
+}
+
 // Type is the domain-independent type of a column. The paper assumes at
 // most attribute names and such types are known (Section I).
 type Type int
@@ -147,10 +171,24 @@ func (c *Column) DataBytes() int64 {
 type Table struct {
 	Name    string
 	Columns []*Column
+
+	// metaOnly marks a table reconstructed from snapshot metadata: its
+	// columns carry names and types but no extents. Content diffing
+	// against such a table is impossible, so Engine.Update falls back
+	// to a full re-profile when the stored side is metadata-only.
+	metaOnly bool
 }
+
+// MetaOnly reports whether this table carries schema metadata only
+// (names and types, no extents) — true for tables of a snapshot-loaded
+// lake, false for tables built from data.
+func (t *Table) MetaOnly() bool { return t.metaOnly }
 
 // New assembles a table from column names and row-major values. Short
 // rows are padded with empty strings; long rows are an error.
+// Duplicate column names are disambiguated with numeric suffixes (the
+// second "name" becomes "name_2") so lookups by column name — Project,
+// joins, explain — are never silently ambiguous.
 func New(name string, columnNames []string, rows [][]string) (*Table, error) {
 	if name == "" {
 		return nil, fmt.Errorf("table: empty table name")
@@ -171,10 +209,38 @@ func New(name string, columnNames []string, rows [][]string) (*Table, error) {
 		}
 	}
 	t := &Table{Name: name, Columns: make([]*Column, len(columnNames))}
+	// Reserve every header name up front so disambiguation never
+	// steals a name a later column carries explicitly: in
+	// "name,name,name_2" the duplicate becomes name_3, not name_2.
+	used := make(map[string]struct{}, len(columnNames))
+	first := make(map[string]int, len(columnNames))
 	for i, cn := range columnNames {
+		used[cn] = struct{}{}
+		if _, seen := first[cn]; !seen {
+			first[cn] = i
+		}
+	}
+	for i, cn := range columnNames {
+		if first[cn] != i {
+			cn = uniqueColumnName(cn, used)
+		}
 		t.Columns[i] = NewColumn(cn, cols[i])
 	}
 	return t, nil
+}
+
+// uniqueColumnName returns the first free name_2, name_3, … candidate
+// for a duplicated header name (counting on until even the suffixed
+// form is free, in case the header itself contains "name_2"). The
+// chosen name is recorded in used.
+func uniqueColumnName(name string, used map[string]struct{}) string {
+	for n := 2; ; n++ {
+		candidate := fmt.Sprintf("%s_%d", name, n)
+		if _, taken := used[candidate]; !taken {
+			used[candidate] = struct{}{}
+			return candidate
+		}
+	}
 }
 
 // Arity reports the number of columns.
@@ -279,7 +345,12 @@ func NewLake() *Lake {
 
 // Add appends a table and returns its id. Duplicate names are an error:
 // table names identify datasets in ground truths and join graphs.
+// Names that cannot round-trip through the on-disk layout (path
+// separators, dot-segments) are rejected with ErrInvalidName.
 func (l *Lake) Add(t *Table) (int, error) {
+	if err := ValidateName(t.Name); err != nil {
+		return 0, err
+	}
 	if _, dup := l.byName[t.Name]; dup {
 		return 0, fmt.Errorf("%w: %q", ErrDuplicateName, t.Name)
 	}
@@ -287,6 +358,29 @@ func (l *Lake) Add(t *Table) (int, error) {
 	l.tables = append(l.tables, t)
 	l.byName[t.Name] = id
 	return id, nil
+}
+
+// Replace swaps the table stored under an existing live name for t,
+// keeping the id (and every other slot) intact — the lake half of an
+// in-place engine Update. It reports the reused id and whether the
+// name was live; a detached or unknown name reports false and changes
+// nothing.
+func (l *Lake) Replace(t *Table) (int, bool) {
+	id, ok := l.byName[t.Name]
+	if !ok {
+		return 0, false
+	}
+	l.tables[id] = t
+	return id, true
+}
+
+// live reports whether slot id holds an attached table: its name still
+// resolves back to this slot. Remove frees the name (a later Add of
+// the same name claims a new slot), so a detached slot's name either
+// misses the index or points elsewhere.
+func (l *Lake) live(id int) bool {
+	got, ok := l.byName[l.tables[id].Name]
+	return ok && got == id
 }
 
 // Remove detaches the named table: the name becomes free for reuse by
@@ -329,10 +423,15 @@ func (l *Lake) ByName(name string) *Table {
 	return nil
 }
 
-// DataBytes reports the total payload size of the lake.
+// DataBytes reports the total payload size of the lake. Detached
+// slots (name-only stubs left by Remove) hold no payload and are
+// skipped.
 func (l *Lake) DataBytes() int64 {
 	var total int64
-	for _, t := range l.tables {
+	for id, t := range l.tables {
+		if !l.live(id) {
+			continue
+		}
 		total += t.DataBytes()
 	}
 	return total

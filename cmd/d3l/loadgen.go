@@ -25,7 +25,8 @@ import (
 // request sequence, so a committed report is reproducible end to end.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	url := fs.String("url", "", "base URL of a running d3l serve replica (e.g. http://127.0.0.1:8080)")
+	var urls multiFlag
+	fs.Var(&urls, "url", "base URL of a running replica or coordinator (repeatable: requests round-robin across all URLs; the gated /metrics scrape reads the first)")
 	direct := fs.Bool("direct", false, "drive the serving stack in-process instead of over HTTP")
 	index := fs.String("index", "", "prebuilt snapshot: engine for -direct, target corpus otherwise")
 	dir := fs.String("dir", "", "lake directory of CSV files (alternative to -index)")
@@ -46,7 +47,7 @@ func cmdLoadgen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*url == "") == !*direct {
+	if (len(urls) == 0) == !*direct {
 		return fmt.Errorf("loadgen: exactly one of -url and -direct is required")
 	}
 
@@ -73,8 +74,14 @@ func cmdLoadgen(args []string) error {
 			return err
 		}
 		doer = &loadgen.HandlerDoer{Handler: srv}
+	} else if len(urls) == 1 {
+		doer = loadgen.NewHTTPDoer(urls[0], *workers)
 	} else {
-		doer = loadgen.NewHTTPDoer(*url, *workers)
+		rr := &loadgen.RoundRobinDoer{}
+		for _, u := range urls {
+			rr.Doers = append(rr.Doers, loadgen.NewHTTPDoer(u, *workers))
+		}
+		doer = rr
 	}
 
 	cfg := loadgen.Config{

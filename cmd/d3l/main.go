@@ -7,7 +7,7 @@
 // Usage:
 //
 //	d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
-//	d3l index build -dir DIR -out FILE.d3l [-workers N]
+//	d3l index build -dir DIR -out FILE.d3l [-workers N] [-shards N -out DIR]
 //	d3l index info  -index FILE.d3l
 //	d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K
 //	                [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
@@ -52,6 +52,7 @@ import (
 	"d3l/internal/datagen"
 	"d3l/internal/experiments"
 	"d3l/internal/persist"
+	"d3l/internal/shard"
 )
 
 func main() {
@@ -73,6 +74,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "coordinator":
+		err = cmdCoordinator(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
 	case "loadgen":
@@ -97,7 +100,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   d3l generate    -kind synthetic|real|larger -out DIR [-tables N] [-seed N]
-  d3l index build -dir DIR -out FILE.d3l [-workers N]
+  d3l index build -dir DIR -out FILE.d3l [-workers N]  (or -shards N -out DIR for a sharded snapshot set)
   d3l index info  -index FILE.d3l
   d3l query       -dir DIR | -index FILE.d3l  -target FILE.csv -k K
                   [-joins] [-explain NAME] [-evidence name,value,...] [-budget N]
@@ -105,9 +108,10 @@ func usage() {
   d3l batch       -dir DIR | -index FILE.d3l  -targets DIR -k K [-workers N]
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
   d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-pprof ADDR]
-                  [-watch] [-watch-interval D]
+                  [-watch] [-watch-interval D] [-shards N]  (with -shards N, -index names a shard manifest)
+  d3l coordinator -shard URL [-shard URL ...]  [-addr :8080] [-cache N] [-shard-timeout D] [-retries N] [-hedge-after D]
   d3l watch       -dir DIR [-index FILE.d3l] [-interval D]
-  d3l loadgen     -url URL | -direct  -index FILE.d3l | -dir DIR  [-duration D] [-warmup D]
+  d3l loadgen     -url URL [-url URL ...] | -direct  -index FILE.d3l | -dir DIR  [-duration D] [-warmup D]
                   [-workers N] [-seed N] [-mix topk=4,query=4,batch=1,mutate=1,update=1] [-out FILE.json]
                   [-fail-on-5xx] [-max-p99 D] [-require-metrics]
   d3l stats       -dir DIR
@@ -205,13 +209,17 @@ func cmdIndex(args []string) error {
 func cmdIndexBuild(args []string) error {
 	fs := flag.NewFlagSet("index build", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory of CSV files")
-	out := fs.String("out", "", "output snapshot file")
+	out := fs.String("out", "", "output snapshot file (a directory with -shards > 1)")
 	workers := fs.Int("workers", 0, "profiling parallelism (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "split the lake across this many shards: write one snapshot per shard plus a manifest into -out")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("index build: -dir and -out are required")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("index build: -shards must be at least 1, got %d", *shards)
 	}
 	lake, err := d3l.LoadLakeDir(*dir)
 	if err != nil {
@@ -219,6 +227,9 @@ func cmdIndexBuild(args []string) error {
 	}
 	opts := d3l.DefaultOptions()
 	opts.Parallelism = *workers
+	if *shards > 1 {
+		return buildShardedIndex(lake, opts, *shards, *out)
+	}
 	start := time.Now()
 	engine, err := d3l.New(lake, opts)
 	if err != nil {
@@ -250,6 +261,40 @@ func cmdIndexBuild(args []string) error {
 	fmt.Printf("indexed %d tables (%d attributes) in %v\n",
 		lake.Len(), engine.NumAttributes(), built.Round(time.Millisecond))
 	fmt.Printf("wrote %s (%d bytes, %d join edges)\n", *out, st.Size(), engine.JoinGraphEdges())
+	return nil
+}
+
+// buildShardedIndex is the `index build -shards N` path: split the
+// lake across a consistent-hash ring of N engines and snapshot each
+// shard plus the manifest that ties them back together. Any
+// participant — `d3l serve -shards N -index DIR` in one process, or N
+// `d3l serve` replicas under a `d3l coordinator` — reconstructs the
+// identical placement from the manifest alone.
+func buildShardedIndex(lake *d3l.Lake, opts d3l.Options, shards int, out string) error {
+	start := time.Now()
+	set, err := shard.BuildSet(lake, shards, opts)
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+	// As in the monolith path: parallelism is a serving-host property,
+	// so snapshots record the GOMAXPROCS default, not this build
+	// machine's -workers.
+	for i := 0; i < set.NumShards(); i++ {
+		if err := set.Shard(i).SetParallelism(0); err != nil {
+			return err
+		}
+	}
+	if err := shard.WriteSet(set, out); err != nil {
+		return err
+	}
+	perShard := make([]int, set.NumShards())
+	for _, name := range set.Tables() {
+		perShard[set.Placement().Owner(name)]++
+	}
+	fmt.Printf("indexed %d tables (%d attributes) across %d shards in %v\n",
+		lake.Len(), set.NumAttributes(), shards, built.Round(time.Millisecond))
+	fmt.Printf("wrote %s (tables per shard: %v)\n", out, perShard)
 	return nil
 }
 

@@ -9,10 +9,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"d3l"
 	"d3l/internal/server"
+	"d3l/internal/shard"
 	"d3l/internal/watch"
 )
 
@@ -44,30 +47,26 @@ func cmdServe(args []string) error {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	watchDir := fs.Bool("watch", false, "poll -dir for CSV changes and fold them into the serving engine (requires -dir)")
 	watchInterval := fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+	shards := fs.Int("shards", 1, "serve an in-process sharded engine set with this many shards (-dir splits the lake at startup; -index loads a shard manifest)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *watchDir && *dir == "" {
 		return fmt.Errorf("serve: -watch requires -dir")
 	}
-	engine, err := loadEngine(*dir, *index)
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards must be at least 1, got %d", *shards)
+	}
+	engine, cfg, err := buildServeEngine(*dir, *index, *workers, *shards)
 	if err != nil {
 		return err
 	}
-	if *workers != 0 {
-		if err := engine.SetParallelism(*workers); err != nil {
-			return err
-		}
-	}
-	srv, err := server.New(engine, server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		AdmissionWait:  *admissionWait,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		CacheEntries:   *cacheEntries,
-		SnapshotPath:   *index,
-		Workers:        *workers,
-	})
+	cfg.MaxConcurrent = *maxConcurrent
+	cfg.AdmissionWait = *admissionWait
+	cfg.RequestTimeout = *timeout
+	cfg.MaxBodyBytes = *maxBody
+	cfg.CacheEntries = *cacheEntries
+	srv, err := server.New(engine, cfg)
 	if err != nil {
 		return err
 	}
@@ -175,6 +174,69 @@ func cmdServe(args []string) error {
 		}
 		return srv.Shutdown(ctx)
 	}
+}
+
+// buildServeEngine resolves the serving engine for cmdServe: the
+// monolith paths (snapshot or CSV directory) at shards == 1, and the
+// in-process sharded set above — -dir splits the lake across the
+// consistent-hash ring at startup, -index loads the per-shard
+// snapshots named by a manifest from `d3l index build -shards N`.
+// The returned Config carries the matching reload wiring: SnapshotPath
+// for a monolith snapshot, LoadFunc for a shard manifest.
+func buildServeEngine(dir, index string, workers, shards int) (server.Engine, server.Config, error) {
+	if shards == 1 {
+		engine, err := loadEngine(dir, index)
+		if err != nil {
+			return nil, server.Config{}, err
+		}
+		if workers != 0 {
+			if err := engine.SetParallelism(workers); err != nil {
+				return nil, server.Config{}, err
+			}
+		}
+		return engine, server.Config{SnapshotPath: index, Workers: workers}, nil
+	}
+	if (dir == "") == (index == "") {
+		return nil, server.Config{}, fmt.Errorf("serve: exactly one of -dir and -index is required")
+	}
+	if dir != "" {
+		lake, err := d3l.LoadLakeDir(dir)
+		if err != nil {
+			return nil, server.Config{}, err
+		}
+		opts := d3l.DefaultOptions()
+		opts.Parallelism = workers
+		set, err := shard.BuildSet(lake, shards, opts)
+		if err != nil {
+			return nil, server.Config{}, err
+		}
+		// A set built from CSVs has no snapshots to reload from; POST
+		// /v1/reload answers an error, as monolith -dir mode does.
+		return set, server.Config{}, nil
+	}
+	manifest := manifestPath(index)
+	set, err := shard.LoadSet(manifest, workers)
+	if err != nil {
+		return nil, server.Config{}, err
+	}
+	if set.NumShards() != shards {
+		return nil, server.Config{}, fmt.Errorf("serve: -shards %d but manifest %s describes %d shards", shards, manifest, set.NumShards())
+	}
+	cfg := server.Config{
+		LoadFunc: func() (server.Engine, error) {
+			return shard.LoadSet(manifest, workers)
+		},
+	}
+	return set, cfg, nil
+}
+
+// manifestPath accepts either the manifest file itself or the snapshot
+// directory holding it.
+func manifestPath(index string) string {
+	if st, err := os.Stat(index); err == nil && st.IsDir() {
+		return filepath.Join(index, shard.ManifestName)
+	}
+	return index
 }
 
 // listenPprof binds the pprof listener, refusing non-loopback hosts:

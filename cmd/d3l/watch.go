@@ -77,7 +77,7 @@ type serverSink struct{ srv *server.Server }
 func (s serverSink) Has(name string) bool { return s.srv.Engine().HasTable(name) }
 
 func (s serverSink) Add(t *d3l.Table) error {
-	return s.srv.MutateEngine(func(e *d3l.Engine) error {
+	return s.srv.MutateEngine(func(e server.Engine) error {
 		_, err := e.Add(t)
 		return err
 	})
@@ -85,7 +85,7 @@ func (s serverSink) Add(t *d3l.Table) error {
 
 func (s serverSink) Update(t *d3l.Table) (int, error) {
 	var reprofiled int
-	err := s.srv.MutateEngine(func(e *d3l.Engine) error {
+	err := s.srv.MutateEngine(func(e server.Engine) error {
 		st, err := e.Update(t)
 		reprofiled = st.Reprofiled
 		return err
@@ -98,7 +98,7 @@ func (s serverSink) Update(t *d3l.Table) (int, error) {
 }
 
 func (s serverSink) Remove(name string) error {
-	return s.srv.MutateEngine(func(e *d3l.Engine) error {
+	return s.srv.MutateEngine(func(e server.Engine) error {
 		return e.Remove(name)
 	})
 }

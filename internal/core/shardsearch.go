@@ -1,0 +1,483 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"d3l/internal/stats"
+	"d3l/internal/table"
+)
+
+// This file is the engine half of the sharded scatter-gather protocol.
+// A shard set partitions the lake's tables across N engines that share
+// one id space (see MirrorAdd/MirrorUpdate in mirror.go): every shard
+// assigns the same table and attribute ids the monolith would, owning
+// shards hold the real profiles and forests, peers hold dead mirror
+// slots. Under that invariant a top-k query decomposes exactly:
+//
+//   probe   — every shard reports, per (target column, forest), the
+//             per-depth distinct candidate counts of its forest
+//             (lsh.Forest.DepthCounts). Counts are additive across
+//             shards because the shards index disjoint attribute sets,
+//             so summing them recovers the monolithic forest's counts.
+//   depths  — the coordinator replays QueryInto's stop rule on the
+//             summed counts: the stop depth is the largest depth whose
+//             global count meets the candidate budget (else 1). This
+//             is the only part of the pipeline that needs global
+//             knowledge the shards lack.
+//   gather  — every shard collects its candidates at the imposed
+//             depths (QueryMinDepthInto), computes the same pair
+//             distances the monolith would, selects each owned table's
+//             best pair per target column (a wholly table-local
+//             decision), and ships the per-(column, evidence) distance
+//             samples that back the Eq. 2 weight distributions.
+//   merge   — the coordinator concatenates the sample multisets (equal
+//             multiset in, identical ECDF out), scores every table
+//             with the literal scoreRun arithmetic over its best-pair
+//             rows, and runs the same bounded top-k selection. Because
+//             (Distance, Name) is a total order and names are unique
+//             across the set, the merged ranking is byte-identical to
+//             the monolith's at any shard count.
+//
+// The shard path deliberately runs without the prepared-plan cascade:
+// the planner's contract is that its answers are bit-identical to the
+// plan-free pipeline, so distributing the plan-free pipeline preserves
+// the answer while keeping the protocol stateless.
+
+// NumForestSlots is the number of per-column forest probes a query can
+// make (the name/value/format/embedding indexes), exported for the
+// shard wire types.
+const NumForestSlots = numForestSlots
+
+// ShardQueryMeta is the resolved query shape a probe ran with. Every
+// shard resolves the same QuerySpec against identically-configured
+// engines, so the metas must agree verbatim; the coordinator validates
+// that and then scores with these values.
+type ShardQueryMeta struct {
+	NumCols  int
+	K        int
+	Budget   int
+	Disabled [NumEvidence]bool
+	Weights  Weights
+	Uniform  bool
+}
+
+// ShardProbe is one shard's answer to the probe phase: per target
+// column and forest slot, the per-depth distinct candidate counts
+// (index d-1 holds depth d; nil when the probe is skipped for this
+// column — evidence disabled, numeric column, zero embedding).
+type ShardProbe struct {
+	Meta   ShardQueryMeta
+	Counts [][NumForestSlots][]int32
+}
+
+// ShardDepths is the coordinator's depth directive: the stop depth per
+// (target column, forest slot) the monolith's descent would have used,
+// 0 where the probe is skipped.
+type ShardDepths struct {
+	Meta   ShardQueryMeta
+	Depths [][NumForestSlots]int32
+}
+
+// ShardTable is one candidate table's contribution to the gather
+// phase: its best-pair alignment rows, one per target column with
+// candidates, ascending by target column — exactly the rows the
+// monolith would materialise for this table.
+type ShardTable struct {
+	TableID int
+	Name    string
+	Rows    []Alignment
+}
+
+// ShardPartial is one shard's answer to the gather phase.
+type ShardPartial struct {
+	Meta ShardQueryMeta
+	// PairCount and TableCount are this shard's contribution to the
+	// deterministic SearchStats counters.
+	PairCount  int
+	TableCount int
+	// Samples holds the per-(column, evidence) distance samples backing
+	// the Eq. 2 distributions, cell col*NumEvidence+t, each sorted
+	// ascending. Nil when the query runs uniform weighting.
+	Samples [][]float64
+	// Tables lists this shard's candidate tables in ascending table-id
+	// order.
+	Tables []ShardTable
+}
+
+// shardProbeSkips reports which forest probes gatherColumn would skip
+// for this target column under the resolved evidence mask — the skip
+// pattern every shard derives identically from the shared profiling
+// machinery.
+func shardProbeSkips(tp *Profile, disabled *[NumEvidence]bool) [NumForestSlots]bool {
+	var skip [NumForestSlots]bool
+	skip[forestSlotN] = disabled[EvidenceName]
+	skip[forestSlotV] = disabled[EvidenceValue] || tp.Numeric
+	skip[forestSlotF] = disabled[EvidenceFormat]
+	skip[forestSlotE] = disabled[EvidenceEmbedding] || tp.EZero
+	return skip
+}
+
+// ShardProbeSpec runs the probe phase for one query on this shard:
+// resolve the spec, profile the target, and report the per-depth
+// candidate counts of every enabled forest probe.
+func (e *Engine) ShardProbeSpec(ctx context.Context, target *table.Table, spec QuerySpec) (*ShardProbe, error) {
+	view, err := e.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tprofiles := e.ProfileTarget(target)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	probe := &ShardProbe{
+		Meta: ShardQueryMeta{
+			NumCols:  len(tprofiles),
+			K:        view.k,
+			Budget:   view.budget,
+			Disabled: view.disabled,
+			Weights:  view.weights,
+			Uniform:  view.uniform,
+		},
+		Counts: make([][NumForestSlots][]int32, len(tprofiles)),
+	}
+	for col := range tprofiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tp := &tprofiles[col]
+		skip := shardProbeSkips(tp, &view.disabled)
+		if !skip[forestSlotN] {
+			if probe.Counts[col][forestSlotN], err = e.forestN.DepthCounts(tp.QSig); err != nil {
+				return nil, err
+			}
+		}
+		if !skip[forestSlotV] {
+			if probe.Counts[col][forestSlotV], err = e.forestV.DepthCounts(tp.TSig); err != nil {
+				return nil, err
+			}
+		}
+		if !skip[forestSlotF] {
+			if probe.Counts[col][forestSlotF], err = e.forestF.DepthCounts(tp.RSig); err != nil {
+				return nil, err
+			}
+		}
+		if !skip[forestSlotE] {
+			evals := tp.ESig.HashValuesInto(nil)
+			if probe.Counts[col][forestSlotE], err = e.forestE.DepthCounts(evals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return probe, nil
+}
+
+// MergeProbeDepths validates that every shard probed the same query
+// shape and replays QueryInto's self-tuning stop rule on the summed
+// per-depth counts: for each (column, slot) the stop depth is the
+// largest depth whose global distinct count reaches the candidate
+// budget, or 1 when none does — exactly where the monolithic forest's
+// top-down descent would have stopped.
+func MergeProbeDepths(probes []*ShardProbe) (*ShardDepths, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("core: no shard probes to merge")
+	}
+	meta := probes[0].Meta
+	for i, p := range probes {
+		if p.Meta != meta {
+			return nil, fmt.Errorf("core: shard %d probed a different query shape", i)
+		}
+		if len(p.Counts) != meta.NumCols {
+			return nil, fmt.Errorf("core: shard %d probed %d columns, want %d", i, len(p.Counts), meta.NumCols)
+		}
+	}
+	budget := meta.Budget
+	if budget < 1 {
+		budget = 1
+	}
+	out := &ShardDepths{Meta: meta, Depths: make([][NumForestSlots]int32, meta.NumCols)}
+	var sum []int64
+	for col := 0; col < meta.NumCols; col++ {
+		for slot := 0; slot < NumForestSlots; slot++ {
+			ref := probes[0].Counts[col][slot]
+			for i, p := range probes {
+				c := p.Counts[col][slot]
+				if (c == nil) != (ref == nil) || len(c) != len(ref) {
+					return nil, fmt.Errorf("core: shard %d disagrees on probe (col %d, slot %d)", i, col, slot)
+				}
+			}
+			if ref == nil {
+				continue // skipped probe; depth stays 0
+			}
+			h := len(ref)
+			sum = append(sum[:0], make([]int64, h)...)
+			for _, p := range probes {
+				for d := range p.Counts[col][slot] {
+					sum[d] += int64(p.Counts[col][slot][d])
+				}
+			}
+			depth := int32(1)
+			for d := h; d >= 1; d-- {
+				if sum[d-1] >= int64(budget) || d == 1 {
+					depth = int32(d)
+					break
+				}
+			}
+			out.Depths[col][slot] = depth
+		}
+	}
+	return out, nil
+}
+
+// ShardGatherSpec runs the gather phase on this shard at the imposed
+// depths: fixed-depth candidate collection, pair distances, per-table
+// best-pair rows, and the Eq. 2 sample vectors. The resolved view must
+// match the directive's meta — a mismatch means the shard's engine
+// options drifted from its peers since the probe.
+func (e *Engine) ShardGatherSpec(ctx context.Context, target *table.Table, spec QuerySpec, depths *ShardDepths) (*ShardPartial, error) {
+	view, err := e.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tprofiles := e.ProfileTarget(target)
+	meta := ShardQueryMeta{
+		NumCols:  len(tprofiles),
+		K:        view.k,
+		Budget:   view.budget,
+		Disabled: view.disabled,
+		Weights:  view.weights,
+		Uniform:  view.uniform,
+	}
+	if meta != depths.Meta {
+		return nil, fmt.Errorf("core: gather query shape disagrees with the depth directive")
+	}
+	if len(depths.Depths) != len(tprofiles) {
+		return nil, fmt.Errorf("core: depth directive covers %d columns, target has %d", len(depths.Depths), len(tprofiles))
+	}
+	var tsubject *Profile
+	for i := range tprofiles {
+		if tprofiles[i].Subject {
+			tsubject = &tprofiles[i]
+		}
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	numCols := len(tprofiles)
+	colBufs := make([][]candidatePair, numCols)
+	for col := range tprofiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		colBufs[col], err = e.shardGatherColumn(col, &tprofiles[col], tsubject, view.disabled, depths.Depths[col])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	partial := &ShardPartial{Meta: meta}
+	if !view.uniform {
+		partial.Samples = make([][]float64, numCols*int(NumEvidence))
+		for c := 0; c < numCols; c++ {
+			for t := 0; t < int(NumEvidence); t++ {
+				cell := make([]float64, 0, len(colBufs[c]))
+				for i := range colBufs[c] {
+					cell = append(cell, colBufs[c][i].dist[t])
+				}
+				slices.Sort(cell)
+				partial.Samples[c*int(NumEvidence)+t] = cell
+			}
+		}
+	}
+
+	var flat []candidatePair
+	for _, colPairs := range colBufs {
+		flat = append(flat, colPairs...)
+	}
+	partial.PairCount = len(flat)
+	runs := groupPairsByTable(flat, nil)
+	partial.TableCount = len(runs)
+	partial.Tables = make([]ShardTable, 0, len(runs))
+	ws := e.getWorkerScratch()
+	defer e.putWorkerScratch(ws)
+	for _, run := range runs {
+		partial.Tables = append(partial.Tables, ShardTable{
+			TableID: run.tid,
+			Name:    e.lake.Table(run.tid).Name,
+			Rows:    e.materializeAlignments(flat[run.start:run.end], numCols, ws),
+		})
+	}
+	return partial, nil
+}
+
+// shardGatherColumn is gatherColumn at imposed fixed depths: same
+// probes, same skip rules, same dedup, same ascending-attribute-id
+// pair order — but collecting with QueryMinDepthInto at the
+// coordinator's depth instead of descending locally. Caller holds
+// e.mu.
+func (e *Engine) shardGatherColumn(col int, tp *Profile, tsubject *Profile, disabled [NumEvidence]bool, depths [NumForestSlots]int32) ([]candidatePair, error) {
+	skip := shardProbeSkips(tp, &disabled)
+	for slot := 0; slot < NumForestSlots; slot++ {
+		if skip[slot] != (depths[slot] == 0) {
+			return nil, fmt.Errorf("core: depth directive disagrees with probe shape (col %d, slot %d)", col, slot)
+		}
+	}
+	ws := e.getWorkerScratch()
+	defer e.putWorkerScratch(ws)
+	ids := ws.ids[:0]
+	var err error
+	if !skip[forestSlotN] {
+		if ids, err = e.forestN.QueryMinDepthInto(tp.QSig, int(depths[forestSlotN]), ids); err != nil {
+			return nil, err
+		}
+	}
+	if !skip[forestSlotV] {
+		if ids, err = e.forestV.QueryMinDepthInto(tp.TSig, int(depths[forestSlotV]), ids); err != nil {
+			return nil, err
+		}
+	}
+	if !skip[forestSlotF] {
+		if ids, err = e.forestF.QueryMinDepthInto(tp.RSig, int(depths[forestSlotF]), ids); err != nil {
+			return nil, err
+		}
+	}
+	if !skip[forestSlotE] {
+		ws.evals = tp.ESig.HashValuesInto(ws.evals[:0])
+		if ids, err = e.forestE.QueryMinDepthInto(ws.evals, int(depths[forestSlotE]), ids); err != nil {
+			return nil, err
+		}
+	}
+	ws.ids = ids
+	visited, epoch := ws.visitedEpoch(len(e.profiles))
+	uniq := ids[:0]
+	for _, id := range ids {
+		if visited[id] != epoch {
+			visited[id] = epoch
+			uniq = append(uniq, id)
+		}
+	}
+	slices.Sort(uniq)
+	dst := make([]candidatePair, 0, len(uniq))
+	for _, id := range uniq {
+		cand := &e.profiles[id]
+		var candSubject *Profile
+		if s := e.subjects[cand.Ref.TableID]; s >= 0 {
+			candSubject = &e.profiles[s]
+		}
+		d := e.pairDistances(tp, cand, tsubject, candSubject, disabled)
+		dst = append(dst, candidatePair{targetCol: col, attrID: int(id), tableID: cand.Ref.TableID, dist: d})
+	}
+	return dst, nil
+}
+
+// MergeShardPartials runs the coordinator's merge phase: rebuild the
+// global Eq. 2 distributions from the shards' sample multisets, score
+// every candidate table with the monolith's literal arithmetic over
+// its best-pair rows, and select the top k under the (Distance, Name)
+// total order. The returned ranking and stats are byte-identical to
+// the monolith's answer for the same query.
+func MergeShardPartials(depths *ShardDepths, partials []*ShardPartial) ([]TableResult, SearchStats, error) {
+	var st SearchStats
+	if len(partials) == 0 {
+		return nil, st, fmt.Errorf("core: no shard partials to merge")
+	}
+	meta := depths.Meta
+	numCols := meta.NumCols
+	for i, p := range partials {
+		if p.Meta != meta {
+			return nil, st, fmt.Errorf("core: shard %d gathered a different query shape", i)
+		}
+		if !meta.Uniform && len(p.Samples) != numCols*int(NumEvidence) {
+			return nil, st, fmt.Errorf("core: shard %d shipped %d sample cells, want %d", i, len(p.Samples), numCols*int(NumEvidence))
+		}
+	}
+
+	// Global Eq. 2 distributions: per cell, the concatenation of the
+	// shards' sorted sample vectors re-sorted is the monolith's sorted
+	// sample multiset, and ECDFs are a pure function of that multiset.
+	var ecdfs *distanceECDFs
+	if !meta.Uniform {
+		cells := make([]stats.ECDF, numCols*int(NumEvidence))
+		for cell := range cells {
+			total := 0
+			for _, p := range partials {
+				total += len(p.Samples[cell])
+			}
+			merged := make([]float64, 0, total)
+			for _, p := range partials {
+				merged = append(merged, p.Samples[cell]...)
+			}
+			slices.Sort(merged)
+			cells[cell] = stats.ECDFOf(merged)
+		}
+		ecdfs = &distanceECDFs{cols: numCols, e: cells}
+	}
+
+	// Score every table. Tables are disjoint across shards (each is
+	// owned by exactly one), and the final selection is a total order,
+	// so the concatenation order cannot affect the ranking.
+	var tables []ShardTable
+	for _, p := range partials {
+		tables = append(tables, p.Tables...)
+		st.CandidatePairs += p.PairCount
+		st.TablesScored += p.TableCount
+	}
+	scored := make([]scoredTable, len(tables))
+	for i := range tables {
+		dist, vec := scoreShardTable(tables[i].Rows, ecdfs, &meta)
+		scored[i] = scoredTable{tid: tables[i].TableID, dist: dist, name: tables[i].Name, vec: vec}
+	}
+	top := selectTopK(scored, meta.K, nil)
+	results := make([]TableResult, len(top))
+	for i, idx := range top {
+		s := &scored[idx]
+		results[i] = TableResult{
+			TableID:    s.tid,
+			Name:       s.name,
+			Distance:   s.dist,
+			Vector:     s.vec,
+			Alignments: tables[idx].Rows,
+		}
+	}
+	return results, st, nil
+}
+
+// scoreShardTable is scoreRun over materialised best-pair rows: the
+// rows are exactly the best[c] pairs in ascending column order, so the
+// Eq. 1 accumulation visits the same terms in the same order and the
+// den == 0 fallback continues from the same accumulator state —
+// float-for-float the monolith's arithmetic.
+func scoreShardTable(rows []Alignment, ecdfs *distanceECDFs, meta *ShardQueryMeta) (float64, DistanceVector) {
+	var vec DistanceVector
+	for t := 0; t < int(NumEvidence); t++ {
+		if meta.Disabled[t] {
+			vec[t] = 1
+			continue
+		}
+		var num, den float64
+		for i := range rows {
+			d := rows[i].Distances[t]
+			w := ecdfs.weight(rows[i].TargetColumn, Evidence(t), d)
+			num += w * d
+			den += w
+		}
+		if den == 0 {
+			// Every row is maximally distant in its distribution; the
+			// unweighted mean preserves the (weak) signal.
+			for i := range rows {
+				num += rows[i].Distances[t]
+			}
+			vec[t] = num / float64(len(rows))
+			continue
+		}
+		vec[t] = num / den
+	}
+	return combineEq3(meta.Weights, meta.Disabled, vec), vec
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"d3l/internal/table"
+)
+
+// buildMirrorShards splits a lake across n engines in the shard-set id
+// discipline: tables enter every engine in lake order, the owner with a
+// real Add and the peers with a MirrorAdd, so table and attribute ids
+// are identical on every shard and to the monolith. Ownership is round
+// robin — exactness cannot depend on placement.
+func buildMirrorShards(t testing.TB, lake *table.Lake, n int) []*Engine {
+	t.Helper()
+	shards := make([]*Engine, n)
+	for s := range shards {
+		e, err := BuildEngine(table.NewLake(), testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[s] = e
+	}
+	for i, tb := range lake.Tables() {
+		for s, e := range shards {
+			if s == i%n {
+				if _, err := e.Add(tb); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := e.MirrorAdd(tb.Name, len(tb.Columns)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return shards
+}
+
+// shardSearch runs the full scatter-gather protocol over the shards.
+func shardSearch(t testing.TB, shards []*Engine, target *table.Table, spec QuerySpec) ([]TableResult, SearchStats) {
+	t.Helper()
+	ctx := context.Background()
+	probes := make([]*ShardProbe, len(shards))
+	for i, e := range shards {
+		p, err := e.ShardProbeSpec(ctx, target, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes[i] = p
+	}
+	depths, err := MergeProbeDepths(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := make([]*ShardPartial, len(shards))
+	for i, e := range shards {
+		p, err := e.ShardGatherSpec(ctx, target, spec, depths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials[i] = p
+	}
+	ranked, stats, err := MergeShardPartials(depths, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ranked, stats
+}
+
+// assertShardEqualsMonolith compares the scatter-gather answer with the
+// monolith's for a set of targets drawn from the lake itself.
+func assertShardEqualsMonolith(t *testing.T, mono *Engine, shards []*Engine, lake *table.Lake, spec QuerySpec) {
+	t.Helper()
+	ctx := context.Background()
+	for ti := 0; ti < lake.Len(); ti += 3 {
+		target := lake.Table(ti)
+		if len(target.Columns) == 0 {
+			continue // removed stub
+		}
+		want, err := mono.SearchSpec(ctx, target, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats := shardSearch(t, shards, target, spec)
+		if !reflect.DeepEqual(want.Ranked, got) {
+			t.Fatalf("target %d, %d shards: ranking diverges\nmono: %s\nshard: %s",
+				ti, len(shards), rankingSignature(want.Ranked, true), rankingSignature(got, true))
+		}
+		if want.Stats != gotStats {
+			t.Fatalf("target %d, %d shards: stats diverge: mono %+v shard %+v", ti, len(shards), want.Stats, gotStats)
+		}
+	}
+}
+
+func TestShardSearchEqualsMonolith(t *testing.T) {
+	lake := syntheticLake(t, 23, 34)
+	mono, err := BuildEngine(lake, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7} {
+		shards := buildMirrorShards(t, lake, n)
+		assertShardEqualsMonolith(t, mono, shards, lake, QuerySpec{K: 8})
+	}
+}
+
+// TestShardSearchEqualsMonolithAfterMutations drives both sides through
+// the same Add/Update/Remove sequence and re-checks equality: mutations
+// must keep the shard set's id space in lockstep with the monolith.
+func TestShardSearchEqualsMonolithAfterMutations(t *testing.T) {
+	full := syntheticLake(t, 31, 30)
+	tables := full.Tables()
+	n := len(tables)
+	const late = 3
+	lake := table.NewLake()
+	for i := 0; i < n-late; i++ {
+		if _, err := lake.Add(tables[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mono, err := BuildEngine(lake, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := buildMirrorShards(t, lake, 3)
+
+	// Late adds: owner Add + peer MirrorAdd, mirroring on the monolith.
+	for i := n - late; i < n; i++ {
+		tb := tables[i]
+		if _, err := mono.Add(tb); err != nil {
+			t.Fatal(err)
+		}
+		owner := i % len(shards)
+		for s, e := range shards {
+			if s == owner {
+				if _, err := e.Add(tb); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := e.MirrorAdd(tb.Name, len(tb.Columns)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// In-place update of an owned table: shrink it to its first rows so
+	// the extents (and so the profiles) genuinely change.
+	victim := tables[1]
+	shrunk := mustSubTable(t, victim, 5)
+	monoStats, err := mono.Update(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerIdx := 1 % len(shards)
+	shardStats, err := shards[ownerIdx].Update(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monoStats != shardStats {
+		t.Fatalf("update stats diverge: mono %+v shard %+v", monoStats, shardStats)
+	}
+	for s, e := range shards {
+		if s == ownerIdx {
+			continue
+		}
+		if err := e.MirrorUpdate(shardStats.TableID, shardStats.Reprofiled); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Remove an owned table: the owner tombstones, peers do nothing.
+	gone := tables[2]
+	if err := mono.Remove(gone.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := shards[2%len(shards)].Remove(gone.Name); err != nil {
+		t.Fatal(err)
+	}
+
+	assertShardEqualsMonolith(t, mono, shards, full, QuerySpec{K: 8})
+}
+
+// mustSubTable rebuilds a table from its first maxRows rows.
+func mustSubTable(t testing.TB, tb *table.Table, maxRows int) *table.Table {
+	t.Helper()
+	cols := make([]string, len(tb.Columns))
+	for i, c := range tb.Columns {
+		cols[i] = c.Name
+	}
+	rows := 0
+	for _, c := range tb.Columns {
+		if len(c.Values) > rows {
+			rows = len(c.Values)
+		}
+	}
+	if rows > maxRows {
+		rows = maxRows
+	}
+	data := make([][]string, rows)
+	for r := range data {
+		data[r] = make([]string, len(tb.Columns))
+		for ci, c := range tb.Columns {
+			if r < len(c.Values) {
+				data[r][ci] = c.Values[r]
+			}
+		}
+	}
+	out, err := table.New(tb.Name+"__sub", cols, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Name = tb.Name
+	return out
+}

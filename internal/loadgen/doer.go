@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +53,27 @@ func (d *HTTPDoer) Do(req Request) (int, []byte, error) {
 		return resp.StatusCode, nil, err
 	}
 	return resp.StatusCode, body, nil
+}
+
+// RoundRobinDoer spreads requests across several backends — typically
+// the shard replicas of one set, or a coordinator plus replicas — so
+// one loadgen run exercises a whole deployment. Workload requests
+// round-robin on a shared counter (the closed-loop workers all draw
+// from it, so the spread stays balanced at any worker count); GET
+// requests, which in a loadgen run only ever means the final /metrics
+// scrape, pin to the first backend so the gated scrape — and hence the
+// committed report — is deterministic.
+type RoundRobinDoer struct {
+	Doers []Doer
+	next  atomic.Uint64
+}
+
+func (d *RoundRobinDoer) Do(req Request) (int, []byte, error) {
+	if req.Method == http.MethodGet {
+		return d.Doers[0].Do(req)
+	}
+	i := d.next.Add(1) - 1
+	return d.Doers[i%uint64(len(d.Doers))].Do(req)
 }
 
 // HandlerDoer drives an http.Handler in-process — no sockets, no

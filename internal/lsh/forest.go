@@ -477,6 +477,43 @@ func (f *Forest) QueryMinDepthInto(sig []uint64, depth int, dst []int32) ([]int3
 	return dst[:base+len(region)], nil
 }
 
+// DepthCounts reports, for every prefix depth d = 1..hashesPerTree, how
+// many distinct indexed ids share a length-d key prefix with the query
+// signature in at least one tree — the per-depth candidate-set sizes
+// QueryInto's self-tuning descent decides on. Counts[d-1] is the size at
+// depth d; the vector is non-increasing in d (prefix nesting).
+//
+// This is the scatter half of the sharded probe protocol: per-depth
+// distinct counts are additive across engines indexing disjoint id sets,
+// so a coordinator that sums the vectors of every shard recovers the
+// exact counts of the equivalent monolithic forest and can impose the
+// depth the monolith's descent would have stopped at (see
+// core.MergeProbeDepths).
+func (f *Forest) DepthCounts(sig []uint64) ([]int32, error) {
+	if !f.indexed {
+		return nil, fmt.Errorf("lsh: DepthCounts before Index")
+	}
+	if len(sig) < f.MinSignatureLen() {
+		return nil, fmt.Errorf("lsh: signature has %d values, forest needs %d", len(sig), f.MinSignatureLen())
+	}
+	var kb [keyStackBytes]byte
+	key := f.keyScratch(kb[:])
+	counts := make([]int32, f.hashesPerTree)
+	var scratch []int32
+	for depth := 1; depth <= f.hashesPerTree; depth++ {
+		scratch = scratch[:0]
+		for t := 0; t < f.numTrees; t++ {
+			tree := &f.trees[t]
+			f.keyInto(key, t, sig)
+			lo, hi := f.prefixRange(tree, key, depth)
+			scratch = append(scratch, tree.ids[lo:hi]...)
+		}
+		slices.Sort(scratch)
+		counts[depth-1] = int32(len(slices.Compact(scratch)))
+	}
+	return counts, nil
+}
+
 // SpaceBytes estimates the memory footprint of the index payload (keys
 // and id arrays), used by the Table II space-overhead experiment.
 func (f *Forest) SpaceBytes() int64 {

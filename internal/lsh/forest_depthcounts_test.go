@@ -1,0 +1,91 @@
+package lsh
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestDepthCountsMatchesQueryMinDepth checks that DepthCounts[d-1] is
+// exactly the distinct candidate count QueryMinDepth observes at depth
+// d, and that the vector is non-increasing (prefix nesting).
+func TestDepthCountsMatchesQueryMinDepth(t *testing.T) {
+	f, sigs := randomForest(t, 11, 90)
+	for i, sig := range sigs {
+		counts, err := f.DepthCounts(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(counts) != 32 {
+			t.Fatalf("sig %d: got %d depths, want 32", i, len(counts))
+		}
+		for d := 1; d <= len(counts); d++ {
+			ids, err := f.QueryMinDepth(sig, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(counts[d-1]) != len(ids) {
+				t.Fatalf("sig %d depth %d: DepthCounts %d, QueryMinDepth %d", i, d, counts[d-1], len(ids))
+			}
+			if d > 1 && counts[d-1] > counts[d-2] {
+				t.Fatalf("sig %d: counts increase from depth %d to %d", i, d-1, d)
+			}
+		}
+	}
+}
+
+// TestDepthCountsAdditiveAcrossShards pins the property the sharded
+// probe protocol depends on: when the indexed id set is partitioned
+// across two forests with the same layout, the per-depth counts of the
+// parts sum to the counts of the whole.
+func TestDepthCountsAdditiveAcrossShards(t *testing.T) {
+	full, sigs := randomForest(t, 12, 100)
+	a := MustForest(8, 32)
+	b := MustForest(8, 32)
+	for i, sig := range sigs {
+		dst := a
+		if i%3 == 0 {
+			dst = b
+		}
+		if err := dst.Add(int32(i), sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Index()
+	b.Index()
+	for i, sig := range sigs {
+		want, err := full.DepthCounts(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, err := a.DepthCounts(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.DepthCounts(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := make([]int32, len(ca))
+		for d := range sum {
+			sum[d] = ca[d] + cb[d]
+		}
+		if !slices.Equal(want, sum) {
+			t.Fatalf("sig %d: shard counts %v + %v != monolith %v", i, ca, cb, want)
+		}
+	}
+}
+
+// TestDepthCountsErrors pins the validation paths.
+func TestDepthCountsErrors(t *testing.T) {
+	f := MustForest(4, 8)
+	if _, err := f.DepthCounts(make([]uint64, 64)); err == nil {
+		t.Fatal("expected DepthCounts-before-Index error")
+	}
+	if err := f.Add(1, make([]uint64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	f.Index()
+	if _, err := f.DepthCounts(make([]uint64, 3)); err == nil {
+		t.Fatal("expected short-signature error")
+	}
+}

@@ -77,7 +77,7 @@ func TestQueryKeyCanonical(t *testing.T) {
 		return TopKRequest{Table: figure1TargetJSON(), K: kptr(5)}
 	}
 	r1, r2 := base(), base()
-	if topKKey("topk", 1, 0, *r1.K, &r1.Table) != topKKey("topk", 1, 0, *r2.K, &r2.Table) {
+	if topKKey("topk", 1, 0, *r1.K, false, &r1.Table) != topKKey("topk", 1, 0, *r2.K, false, &r2.Table) {
 		t.Fatal("equal queries produced different keys")
 	}
 	distinct := map[string]string{}
@@ -88,28 +88,28 @@ func TestQueryKeyCanonical(t *testing.T) {
 		}
 		distinct[key] = label
 	}
-	add("base", topKKey("topk", 1, 0, *r1.K, &r1.Table))
-	add("kind", topKKey("joins", 1, 0, *r1.K, &r1.Table))
-	add("engine", topKKey("topk", 2, 0, *r1.K, &r1.Table))
-	add("swap generation", topKKey("topk", 1, 1, *r1.K, &r1.Table))
+	add("base", topKKey("topk", 1, 0, *r1.K, false, &r1.Table))
+	add("kind", topKKey("joins", 1, 0, *r1.K, false, &r1.Table))
+	add("engine", topKKey("topk", 2, 0, *r1.K, false, &r1.Table))
+	add("swap generation", topKKey("topk", 1, 1, *r1.K, false, &r1.Table))
 	k := base()
 	k.K = kptr(6)
-	add("k", topKKey("topk", 1, 0, *k.K, &k.Table))
+	add("k", topKKey("topk", 1, 0, *k.K, false, &k.Table))
 	cell := base()
 	cell.Table.Rows[0][0] += "x"
-	add("cell", topKKey("topk", 1, 0, *cell.K, &cell.Table))
+	add("cell", topKKey("topk", 1, 0, *cell.K, false, &cell.Table))
 	col := base()
 	col.Table.Columns[0] += "x"
-	add("column", topKKey("topk", 1, 0, *col.K, &col.Table))
+	add("column", topKKey("topk", 1, 0, *col.K, false, &col.Table))
 	name := base()
 	name.Table.Name += "x"
-	add("table name", topKKey("topk", 1, 0, *name.K, &name.Table))
+	add("table name", topKKey("topk", 1, 0, *name.K, false, &name.Table))
 
 	// Length-prefixing: moving a byte across a field boundary must not
 	// collide ("ab","c" vs "a","bc").
 	ab := TopKRequest{Table: TableJSON{Name: "n", Columns: []string{"ab", "c"}}, K: kptr(1)}
 	a := TopKRequest{Table: TableJSON{Name: "n", Columns: []string{"a", "bc"}}, K: kptr(1)}
-	if topKKey("topk", 1, 0, *ab.K, &ab.Table) == topKKey("topk", 1, 0, *a.K, &a.Table) {
+	if topKKey("topk", 1, 0, *ab.K, false, &ab.Table) == topKKey("topk", 1, 0, *a.K, false, &a.Table) {
 		t.Fatal("field boundary shift collides")
 	}
 }

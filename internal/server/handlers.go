@@ -67,6 +67,8 @@ func writeEngineError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errTimeout):
 		writeError(w, http.StatusServiceUnavailable, CodeTimeout,
 			"request exceeded the execution deadline")
+	case errors.Is(err, d3l.ErrUnsupported):
+		writeError(w, http.StatusNotImplemented, CodeUnsupported, err.Error())
 	case errors.Is(err, d3l.ErrInvalidOptions):
 		// Handlers pre-validate, so this is a belt-and-braces mapping:
 		// if the library ever rejects an option set the wire check let
@@ -178,6 +180,13 @@ func (s *Server) cachedQuery(w http.ResponseWriter, r *http.Request, key string,
 	}
 }
 
+// partialRequested reads the ?partial=true opt-in: the caller accepts
+// a degraded answer from a subset of shard replicas instead of the
+// fail-closed default. Inert on monolithic and in-process backends.
+func partialRequested(r *http.Request) bool {
+	return r.URL.Query().Get("partial") == "true"
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req TopKRequest
 	if !s.decodeBody(w, r, &req) {
@@ -193,13 +202,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	partial := partialRequested(r)
+	opts := []d3l.QueryOption{d3l.WithK(k)}
+	if partial {
+		opts = append(opts, d3l.WithPartialResults())
+	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, k, &req.Table), func(ctx context.Context) ([]byte, error) {
-		ans, err := eng.Query(ctx, target, d3l.WithK(k))
+	s.cachedQuery(w, r, topKKey("topk", eng.Fingerprint(), gen, k, partial, &req.Table), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, opts...)
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(TopKResponse{Results: toResultsJSON(ans.Results)})
+		return json.Marshal(TopKResponse{Results: toResultsJSON(ans.Results), Degraded: ans.Degraded})
 	})
 }
 
@@ -219,7 +233,7 @@ func (s *Server) handleJoins(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, k, &req.Table), func(ctx context.Context) ([]byte, error) {
+	s.cachedQuery(w, r, topKKey("joins", eng.Fingerprint(), gen, k, false, &req.Table), func(ctx context.Context) ([]byte, error) {
 		ans, err := eng.Query(ctx, target, d3l.WithK(k), d3l.WithJoins())
 		if err != nil {
 			return nil, err
@@ -252,17 +266,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		targets[i] = t
 	}
+	partial := partialRequested(r)
+	opts := []d3l.QueryOption{d3l.WithK(k)}
+	if partial {
+		opts = append(opts, d3l.WithPartialResults())
+	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, k, &req), func(ctx context.Context) ([]byte, error) {
-		answers, err := eng.QueryBatch(ctx, targets, d3l.WithK(k))
+	s.cachedQuery(w, r, batchKey(eng.Fingerprint(), gen, k, partial, &req), func(ctx context.Context) ([]byte, error) {
+		answers, err := eng.QueryBatch(ctx, targets, opts...)
 		if err != nil {
 			return nil, err
 		}
 		out := make([][]ResultJSON, len(answers))
+		degraded := false
 		for i, a := range answers {
 			out[i] = toResultsJSON(a.Results)
+			degraded = degraded || a.Degraded
 		}
-		return json.Marshal(BatchResponse{Results: out})
+		return json.Marshal(BatchResponse{Results: out, Degraded: degraded})
 	})
 }
 
@@ -310,9 +331,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	partial := partialRequested(r)
+	opts := plan.opts
+	if partial {
+		opts = append(opts, d3l.WithPartialResults())
+	}
 	gen, eng := s.cacheEpoch()
-	s.cachedQuery(w, r, queryKey(eng.Fingerprint(), gen, plan, &req.Table), func(ctx context.Context) ([]byte, error) {
-		ans, err := eng.Query(ctx, target, plan.opts...)
+	s.cachedQuery(w, r, queryKey(eng.Fingerprint(), gen, plan, partial, &req.Table), func(ctx context.Context) ([]byte, error) {
+		ans, err := eng.Query(ctx, target, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -324,6 +350,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				CandidatePairs: ans.Stats.CandidatePairs,
 				TablesScored:   ans.Stats.TablesScored,
 			},
+			Degraded: ans.Degraded,
 		}
 		if ans.Joins != nil {
 			resp.Joins = toAugmentedJSON(ans.Joins)

@@ -84,19 +84,23 @@ func (w *keyWriter) sum() string {
 
 // topKKey keys /v1/topk and /v1/joins responses (kind distinguishes
 // them). k is the validated answer size (requireK already resolved
-// the request's pointer).
-func topKKey(kind string, engineFP, swapGen uint64, k int, table *TableJSON) string {
+// the request's pointer). partial folds in the ?partial=true opt-in: a
+// degraded answer from a sharded backend must never be replayed to a
+// fail-closed request (and vice versa — the bodies differ).
+func topKKey(kind string, engineFP, swapGen uint64, k int, partial bool, table *TableJSON) string {
 	w := newKeyWriter(kind, engineFP, swapGen)
 	w.u64(uint64(k))
+	w.bool(partial)
 	w.table(table)
 	return w.sum()
 }
 
 // batchKey keys /v1/batch responses over the whole target list (order
 // matters: the response is indexed like the request).
-func batchKey(engineFP, swapGen uint64, k int, req *BatchRequest) string {
+func batchKey(engineFP, swapGen uint64, k int, partial bool, req *BatchRequest) string {
 	w := newKeyWriter("batch", engineFP, swapGen)
 	w.u64(uint64(k))
+	w.bool(partial)
 	w.u64(uint64(len(req.Tables)))
 	for i := range req.Tables {
 		w.table(&req.Tables[i])
@@ -124,9 +128,10 @@ func explainKey(engineFP, swapGen uint64, req *ExplainRequest) string {
 // keeping the key a pure function of the canonical request; both modes
 // produce byte-identical bodies, so the only cost is one duplicate
 // cache entry when a client A/B-probes the same query.
-func queryKey(engineFP, swapGen uint64, p *queryPlan, t *TableJSON) string {
+func queryKey(engineFP, swapGen uint64, p *queryPlan, partial bool, t *TableJSON) string {
 	w := newKeyWriter("query", engineFP, swapGen)
 	w.u64(uint64(p.k))
+	w.bool(partial)
 	w.bool(p.planner)
 	w.bool(p.joins)
 	w.str(p.explainFor)

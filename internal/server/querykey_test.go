@@ -28,7 +28,7 @@ func TestQueryKeyNegativeZeroWeight(t *testing.T) {
 	negZero := math.Copysign(0, -1)
 	pos := mustPlan(t, QueryRequest{Table: target, Weights: []float64{1, 0, 1, 1, 1}})
 	neg := mustPlan(t, QueryRequest{Table: target, Weights: []float64{1, negZero, 1, 1, 1}})
-	if queryKey(1, 0, pos, &target) != queryKey(1, 0, neg, &target) {
+	if queryKey(1, 0, pos, false, &target) != queryKey(1, 0, neg, false, &target) {
 		t.Fatal("-0.0 and +0.0 weights produced different cache keys")
 	}
 	if math.Signbit(neg.weights[1]) {
@@ -84,10 +84,10 @@ func TestQueryKeyPlannerFlag(t *testing.T) {
 	absent := mustPlan(t, QueryRequest{Table: target})
 	explicit := mustPlan(t, QueryRequest{Table: target, Planner: &on})
 	disabled := mustPlan(t, QueryRequest{Table: target, Planner: &off})
-	if queryKey(1, 0, absent, &target) != queryKey(1, 0, explicit, &target) {
+	if queryKey(1, 0, absent, false, &target) != queryKey(1, 0, explicit, false, &target) {
 		t.Fatal("absent and explicit-true planner flags split the cache key")
 	}
-	if queryKey(1, 0, absent, &target) == queryKey(1, 0, disabled, &target) {
+	if queryKey(1, 0, absent, false, &target) == queryKey(1, 0, disabled, false, &target) {
 		t.Fatal("planner=false shares the planner-on cache key")
 	}
 }

@@ -40,6 +40,33 @@ import (
 	"d3l"
 )
 
+// Engine is the serving abstraction the HTTP layer runs over: the
+// query, mutation and introspection surface shared by the monolithic
+// *d3l.Engine and the sharded sets (internal/shard). Everything the
+// handlers, the cache keys and the stats snapshot need lives here; the
+// sharded implementations answer ranking queries byte-identically to
+// the monolith, so the serving layer cannot tell them apart.
+type Engine interface {
+	Query(ctx context.Context, target *d3l.Table, opts ...d3l.QueryOption) (*d3l.Answer, error)
+	QueryBatch(ctx context.Context, targets []*d3l.Table, opts ...d3l.QueryOption) ([]*d3l.Answer, error)
+	Add(t *d3l.Table) (int, error)
+	Update(t *d3l.Table) (d3l.UpdateStats, error)
+	Remove(name string) error
+	Tables() []string
+	HasTable(name string) bool
+	Fingerprint() uint64
+	NumTables() int
+	NumAttributes() int
+	PlannerTotals() d3l.PlannerTotals
+	PrewarmScratch(n int)
+	SetStageObserver(o d3l.StageObserver)
+}
+
+// engineBox wraps the serving Engine for atomic.Pointer, which needs
+// one concrete type (interface values with differing dynamic types
+// cannot go through atomic.Value).
+type engineBox struct{ e Engine }
+
 // Config tunes a Server. The zero value of any field selects the
 // documented default.
 type Config struct {
@@ -72,6 +99,12 @@ type Config struct {
 	// build machine's setting. The initial engine is the caller's to
 	// configure (the CLI applies -workers before New).
 	Workers int
+	// LoadFunc, when set, replaces the SnapshotPath reload path: POST
+	// /v1/reload calls it and swaps in whatever engine it returns. The
+	// sharded serve modes use it to reload a whole shard set (or to
+	// re-poll remote shard replicas) as one atomic swap; the loader is
+	// responsible for applying its own parallelism settings.
+	LoadFunc func() (Engine, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +152,7 @@ type stats struct {
 // implements http.Handler. All methods are safe for concurrent use.
 type Server struct {
 	cfg     Config
-	engine  atomic.Pointer[d3l.Engine]
+	engine  atomic.Pointer[engineBox]
 	cache   *resultCache
 	gate    chan struct{}
 	stats   stats
@@ -190,7 +223,7 @@ func (f *flight) resolve(s *Server, key string, body []byte, err error) {
 }
 
 // New returns a server over the engine. The engine must not be nil.
-func New(engine *d3l.Engine, cfg Config) (*Server, error) {
+func New(engine Engine, cfg Config) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
@@ -222,7 +255,7 @@ func New(engine *d3l.Engine, cfg Config) (*Server, error) {
 	engine.PrewarmScratch(cfg.MaxConcurrent)
 	s.metrics = newServerMetrics(s)
 	engine.SetStageObserver(s.metrics.observeCoreStage)
-	s.engine.Store(engine)
+	s.engine.Store(&engineBox{e: engine})
 	s.routes()
 	return s, nil
 }
@@ -242,6 +275,13 @@ func (s *Server) routes() {
 	// Allow header instead of the catch-all 404 (the resource exists;
 	// the method is what is wrong).
 	s.mux.HandleFunc("/v1/tables/{name}", s.handleTableMethodNotAllowed)
+	// Shard replica protocol (see shard_handlers.go): probe and gather
+	// are the two phases of a coordinator's scatter-gather query,
+	// mirror keeps this replica's id space in lockstep with its peers.
+	s.mux.HandleFunc("POST /v1/shard/probe", s.handleShardProbe)
+	s.mux.HandleFunc("POST /v1/shard/gather", s.handleShardGather)
+	s.mux.HandleFunc("POST /v1/shard/explain", s.handleShardExplain)
+	s.mux.HandleFunc("POST /v1/shard/mirror", s.handleShardMirror)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -259,16 +299,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Engine returns the currently serving engine. Handlers load it once
 // per request, so a concurrent swap never changes the engine mid-query.
-func (s *Server) Engine() *d3l.Engine { return s.engine.Load() }
+func (s *Server) Engine() Engine { return s.engine.Load().e }
 
 // cacheEpoch reads the cache-key generation and the engine, in that
 // order. The order pairs with Swap's (store engine, then bump
 // generation): a request that obtained the old engine necessarily
 // read the old generation too, so its late cache insert can never be
 // keyed where post-swap readers look.
-func (s *Server) cacheEpoch() (uint64, *d3l.Engine) {
+func (s *Server) cacheEpoch() (uint64, Engine) {
 	gen := s.swapGen.Load()
-	return gen, s.engine.Load()
+	return gen, s.engine.Load().e
 }
 
 // Swap atomically replaces the serving engine, advances the cache-key
@@ -279,7 +319,7 @@ func (s *Server) cacheEpoch() (uint64, *d3l.Engine) {
 // read it before the swap and can only have loaded the old engine —
 // its late cache insert lands under the old generation, unreachable
 // by post-swap readers.
-func (s *Server) Swap(engine *d3l.Engine) error {
+func (s *Server) Swap(engine Engine) error {
 	if engine == nil {
 		return fmt.Errorf("server: nil engine")
 	}
@@ -296,7 +336,7 @@ func (s *Server) Swap(engine *d3l.Engine) error {
 	// per-engine state, so the incoming engine gets its own registration
 	// before it takes traffic.
 	engine.SetStageObserver(s.metrics.observeCoreStage)
-	s.engine.Store(engine)
+	s.engine.Store(&engineBox{e: engine})
 	s.swapGen.Add(1)
 	s.cache.purge()
 	return nil
@@ -309,24 +349,34 @@ func (s *Server) Swap(engine *d3l.Engine) error {
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	if s.cfg.SnapshotPath == "" {
-		return fmt.Errorf("server: no snapshot path configured for reload")
-	}
-	f, err := os.Open(s.cfg.SnapshotPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	engine, err := d3l.Load(f)
-	if err != nil {
-		return fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
-	}
-	// The snapshot carries the build host's Parallelism; re-apply the
-	// serving replica's own setting before the engine takes traffic.
-	if s.cfg.Workers != 0 {
-		if err := engine.SetParallelism(s.cfg.Workers); err != nil {
+	var engine Engine
+	switch {
+	case s.cfg.LoadFunc != nil:
+		loaded, err := s.cfg.LoadFunc()
+		if err != nil {
+			return fmt.Errorf("server: reload: %w", err)
+		}
+		engine = loaded
+	case s.cfg.SnapshotPath != "":
+		f, err := os.Open(s.cfg.SnapshotPath)
+		if err != nil {
 			return err
 		}
+		defer f.Close()
+		mono, err := d3l.Load(f)
+		if err != nil {
+			return fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
+		}
+		// The snapshot carries the build host's Parallelism; re-apply the
+		// serving replica's own setting before the engine takes traffic.
+		if s.cfg.Workers != 0 {
+			if err := mono.SetParallelism(s.cfg.Workers); err != nil {
+				return err
+			}
+		}
+		engine = mono
+	default:
+		return fmt.Errorf("server: no snapshot path or load func configured for reload")
 	}
 	if err := s.Swap(engine); err != nil {
 		return err
@@ -344,7 +394,7 @@ func (s *Server) Reload() error {
 // drivers — the watch-mode reconciler folds filesystem deltas through
 // it. A draining server rejects with errUnavailable (503 semantics)
 // without running fn.
-func (s *Server) MutateEngine(fn func(*d3l.Engine) error) error {
+func (s *Server) MutateEngine(fn func(Engine) error) error {
 	if !s.register() {
 		s.stats.unavailable.Add(1)
 		return errUnavailable

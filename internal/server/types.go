@@ -271,6 +271,12 @@ type QueryResponse struct {
 	Joins       []AugmentedJSON   `json:"joins,omitempty"`
 	Explanation []ExplanationJSON `json:"explanation,omitempty"`
 	Stats       QueryStatsJSON    `json:"stats"`
+	// Degraded reports that a sharded backend answered this query from
+	// a subset of its shards under the opt-in ?partial=true policy.
+	// Omitted (false) everywhere else, so complete answers — including
+	// every committed golden fixture — are byte-identical with and
+	// without sharding.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // TablesResponse lists the live table names (GET /v1/tables).
@@ -287,9 +293,11 @@ type TopKRequest struct {
 	K     *int      `json:"k"`
 }
 
-// TopKResponse carries the ranked answer.
+// TopKResponse carries the ranked answer. Degraded follows the
+// QueryResponse contract (set only for opt-in partial sharded answers).
 type TopKResponse struct {
-	Results []ResultJSON `json:"results"`
+	Results  []ResultJSON `json:"results"`
+	Degraded bool         `json:"degraded,omitempty"`
 }
 
 // requireK is the one k-validation rule of the ranking endpoints
@@ -315,9 +323,12 @@ type BatchRequest struct {
 	K      *int        `json:"k"`
 }
 
-// BatchResponse is indexed like BatchRequest.Tables.
+// BatchResponse is indexed like BatchRequest.Tables. Degraded follows
+// the QueryResponse contract (set when any answer of the batch was
+// served from a subset of shards under ?partial=true).
 type BatchResponse struct {
-	Results [][]ResultJSON `json:"results"`
+	Results  [][]ResultJSON `json:"results"`
+	Degraded bool           `json:"degraded,omitempty"`
 }
 
 // JoinsResponse carries the join-augmented answer for a TopKRequest
@@ -446,4 +457,9 @@ const (
 	CodeInternal    = "internal"    // 500: unexpected engine failure
 	CodeUnavailable = "unavailable" // 503: server draining or reload failed
 	CodeTimeout     = "timeout"     // 503: per-request deadline exceeded
+
+	// CodeUnsupported is 501: the query asks for a feature this
+	// serving mode does not implement (WithJoins on a sharded backend:
+	// the SA-join graph spans shards).
+	CodeUnsupported = "unsupported"
 )

@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
-
-	"d3l"
 )
 
 // s1JSON returns S1's wire form with the Patients column rewritten —
@@ -180,7 +178,7 @@ func TestMutateEngine(t *testing.T) {
 	if s := getStats(t, hs.URL); s.CacheEntries == 0 {
 		t.Fatal("cache not warm")
 	}
-	err := srv.MutateEngine(func(e *d3l.Engine) error {
+	err := srv.MutateEngine(func(e Engine) error {
 		_, err := e.Add(mustTable(t, "extra", []string{"a"}, [][]string{{"1"}}))
 		return err
 	})
@@ -193,7 +191,7 @@ func TestMutateEngine(t *testing.T) {
 	}
 
 	srv.BeginShutdown()
-	err = srv.MutateEngine(func(e *d3l.Engine) error { return nil })
+	err = srv.MutateEngine(func(e Engine) error { return nil })
 	if err == nil {
 		t.Fatal("MutateEngine must refuse while draining")
 	}

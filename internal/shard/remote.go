@@ -1,0 +1,693 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d3l"
+	"d3l/internal/server"
+)
+
+// RemoteConfig tunes the coordinator's per-shard HTTP behavior. The
+// zero value of any field selects the documented default.
+type RemoteConfig struct {
+	// ShardTimeout bounds each HTTP attempt to one shard replica.
+	// 0 selects 10s.
+	ShardTimeout time.Duration
+	// Retries is how many extra attempts a failed read-path call gets
+	// (probe, gather, explain — mutations never retry: they are not
+	// idempotent across the mirror fan-out). Negative means 0.
+	// 0 selects 1.
+	Retries int
+	// HedgeAfter, when positive, launches a duplicate attempt against
+	// the same replica if the first has not answered within this
+	// duration — the classic tail-latency hedge. The first answer
+	// wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Client overrides the HTTP client (tests inject httptest
+	// transports). nil builds a pooled default.
+	Client *http.Client
+}
+
+func (c RemoteConfig) withDefaults() RemoteConfig {
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+			},
+		}
+	}
+	return c
+}
+
+// Remote is the thin-coordinator backend: it implements the
+// server.Engine surface by fanning the scatter-gather protocol out
+// over HTTP to remote shard replicas (each a plain `d3l serve`
+// process). Wrapped in server.New, it inherits the serving layer's
+// result cache, admission gate and single-flight coalescing — the
+// coordinator itself holds no index data.
+//
+// Failure policy: fail-closed by default — any shard failure (after
+// retries/hedging) fails the query, because a silent subset answer
+// would break the byte-identity contract. A query carrying
+// d3l.WithPartialResults (the HTTP layer's ?partial=true) instead
+// drops unreachable shards and marks the answer Degraded; degraded
+// answers carry no exactness guarantee.
+type Remote struct {
+	urls   []string
+	place  *Placement
+	cfg    RemoteConfig
+	baseFP uint64
+	// muts counts coordinator-applied mutations; it folds into
+	// Fingerprint so the serving cache invalidates on every mutation
+	// routed through this coordinator. Out-of-band replica changes
+	// are surfaced by POST /v1/reload, whose LoadFunc re-polls the
+	// replicas into a fresh Remote (fresh baseFP).
+	muts atomic.Uint64
+}
+
+// NewRemote builds a coordinator backend over the given replica base
+// URLs (one per shard ordinal, matching the manifest the replicas
+// were built from). Construction is fail-closed: every replica must
+// answer /v1/healthz, and the fingerprints seed the coordinator's
+// cache identity.
+func NewRemote(urls []string, cfg RemoteConfig) (*Remote, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least 1 shard URL")
+	}
+	place, err := NewPlacement(len(urls), 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &Remote{
+		urls:  make([]string, len(urls)),
+		place: place,
+		cfg:   cfg.withDefaults(),
+	}
+	for i, u := range urls {
+		r.urls[i] = strings.TrimRight(u, "/")
+	}
+	const prime = 1099511628211
+	fp := uint64(14695981039346656037)
+	fp = (fp ^ uint64(len(urls))) * prime
+	for i := range r.urls {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+		var h server.HealthResponse
+		err := r.getJSON(ctx, i, "/v1/healthz", &h)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): health check: %w", i, r.urls[i], err)
+		}
+		sfp, err := strconv.ParseUint(h.EngineFingerprint, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): bad fingerprint %q", i, r.urls[i], h.EngineFingerprint)
+		}
+		fp = (fp ^ sfp) * prime
+	}
+	r.baseFP = fp
+	return r, nil
+}
+
+// NumShards reports the replica count.
+func (r *Remote) NumShards() int { return len(r.urls) }
+
+// URLs exposes the replica base URLs (CLI diagnostics).
+func (r *Remote) URLs() []string { return append([]string(nil), r.urls...) }
+
+// ---- server.Engine: queries ----
+
+// Query answers one discovery query by scatter-gather over the
+// replicas, replicating the monolith contract (see Set.Query).
+func (r *Remote) Query(ctx context.Context, target *d3l.Table, opts ...d3l.QueryOption) (*d3l.Answer, error) {
+	sq, err := d3l.ResolveShardQuery(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if target == nil {
+		return nil, fmt.Errorf("d3l: nil target")
+	}
+	return r.query(ctx, target, sq)
+}
+
+func (r *Remote) query(ctx context.Context, target *d3l.Table, sq *d3l.ShardQuery) (*d3l.Answer, error) {
+	start := time.Now()
+	wire := tableToWire(target)
+	ans := &d3l.Answer{Stats: d3l.QueryStats{K: sq.K}}
+	if sq.K > 0 {
+		results, stats, degraded, err := r.search(ctx, wire, sq)
+		if err != nil {
+			return nil, err
+		}
+		ans.Results = results
+		ans.Stats.CandidatePairs = stats.CandidatePairs
+		ans.Stats.TablesScored = stats.TablesScored
+		ans.Degraded = degraded
+	}
+	if sq.ExplainFor != "" {
+		rows, err := r.explain(ctx, wire, sq)
+		if err != nil {
+			return nil, err
+		}
+		ans.Explanation = rows
+	}
+	ans.Stats.Elapsed = time.Since(start)
+	return ans, nil
+}
+
+// search runs the two HTTP phases. Under PartialOK a shard that fails
+// its probe (after retries) is dropped from the query entirely; a
+// shard that probed but fails its gather is likewise dropped. Either
+// drop degrades the answer. With no live shard left the query fails
+// even under PartialOK.
+func (r *Remote) search(ctx context.Context, wire server.TableJSON, sq *d3l.ShardQuery) ([]d3l.Result, d3l.QueryStats, bool, error) {
+	n := len(r.urls)
+	probes := make([]*d3l.ShardProbe, n)
+	probeErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var p d3l.ShardProbe
+			err := r.readJSON(ctx, i, "/v1/shard/probe", server.ShardProbeRequest{Table: wire, Spec: sq.Spec}, &p)
+			if err != nil {
+				probeErrs[i] = err
+				return
+			}
+			probes[i] = &p
+		}(i)
+	}
+	wg.Wait()
+	degraded := false
+	live := make([]int, 0, n)
+	liveProbes := make([]*d3l.ShardProbe, 0, n)
+	for i := 0; i < n; i++ {
+		if probeErrs[i] != nil {
+			if !sq.PartialOK {
+				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) probe: %w", i, r.urls[i], probeErrs[i])
+			}
+			degraded = true
+			continue
+		}
+		live = append(live, i)
+		liveProbes = append(liveProbes, probes[i])
+	}
+	if len(live) == 0 {
+		return nil, d3l.QueryStats{}, false, fmt.Errorf("all %d shards failed; first: %w", n, probeErrs[0])
+	}
+	depths, err := d3l.MergeShardDepths(liveProbes)
+	if err != nil {
+		return nil, d3l.QueryStats{}, false, err
+	}
+	partials := make([]*d3l.ShardPartial, len(live))
+	gatherErrs := make([]error, len(live))
+	for gi, i := range live {
+		wg.Add(1)
+		go func(gi, i int) {
+			defer wg.Done()
+			var p d3l.ShardPartial
+			err := r.readJSON(ctx, i, "/v1/shard/gather", server.ShardGatherRequest{Table: wire, Spec: sq.Spec, Depths: *depths}, &p)
+			if err != nil {
+				gatherErrs[gi] = err
+				return
+			}
+			partials[gi] = &p
+		}(gi, i)
+	}
+	wg.Wait()
+	kept := partials[:0]
+	for gi, i := range live {
+		if gatherErrs[gi] != nil {
+			if !sq.PartialOK {
+				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) gather: %w", i, r.urls[i], gatherErrs[gi])
+			}
+			degraded = true
+			continue
+		}
+		kept = append(kept, partials[gi])
+	}
+	if len(kept) == 0 {
+		return nil, d3l.QueryStats{}, false, fmt.Errorf("all %d shards failed gather; first: %w", len(live), gatherErrs[0])
+	}
+	results, stats, err := d3l.MergeShardPartials(depths, kept)
+	if err != nil {
+		return nil, d3l.QueryStats{}, false, err
+	}
+	return results, stats, degraded, nil
+}
+
+// explain routes the explanation to the owning replica. Partial mode
+// never applies: an explanation from the wrong shard is not a
+// degraded answer, it is a 404.
+func (r *Remote) explain(ctx context.Context, wire server.TableJSON, sq *d3l.ShardQuery) ([]d3l.PairExplanation, error) {
+	req := server.ShardExplainRequest{Table: wire, LakeTable: sq.ExplainFor, Spec: sq.Spec}
+	var resp server.ShardExplainResponse
+	owner := r.place.Owner(sq.ExplainFor)
+	err := r.readJSON(ctx, owner, "/v1/shard/explain", req, &resp)
+	for i := 0; err != nil && isNotFound(err) && i < len(r.urls); i++ {
+		// Ring-owner miss (replica set built under a different
+		// placement): scan, as Set.liveOwner does.
+		if i == owner {
+			continue
+		}
+		if scanErr := r.readJSON(ctx, i, "/v1/shard/explain", req, &resp); scanErr == nil || !isNotFound(scanErr) {
+			err = scanErr
+		}
+	}
+	if err != nil {
+		if isNotFound(err) {
+			return nil, fmt.Errorf("%w: no table %q in the lake", d3l.ErrTableNotFound, sq.ExplainFor)
+		}
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// QueryBatch runs targets sequentially: each query already fans out
+// across every replica.
+func (r *Remote) QueryBatch(ctx context.Context, targets []*d3l.Table, opts ...d3l.QueryOption) ([]*d3l.Answer, error) {
+	sq, err := d3l.ResolveShardQuery(opts...)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]*d3l.Answer, len(targets))
+	for i, tgt := range targets {
+		if tgt == nil {
+			return nil, fmt.Errorf("d3l: nil target")
+		}
+		a, err := r.query(ctx, tgt, sq)
+		if err != nil {
+			return nil, fmt.Errorf("target %d: %w", i, err)
+		}
+		answers[i] = a
+	}
+	return answers, nil
+}
+
+// ---- server.Engine: mutations ----
+
+// Add routes the real Add to the ring owner and mirrors the id
+// consumption on every peer replica. Mutations are single-attempt —
+// a retry after an ambiguous network failure could double-apply.
+func (r *Remote) Add(t *d3l.Table) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("d3l: nil table")
+	}
+	ctx, cancel := r.mutationCtx()
+	defer cancel()
+	owner := r.place.Owner(t.Name)
+	wire := tableToWire(t)
+	var resp server.AddTableResponse
+	if err := r.doJSON(ctx, owner, http.MethodPost, "/v1/tables", server.AddTableRequest{Table: wire}, &resp); err != nil {
+		return 0, err
+	}
+	for i := range r.urls {
+		if i == owner {
+			continue
+		}
+		var mresp server.ShardMirrorResponse
+		mreq := server.ShardMirrorRequest{Op: "add", Name: t.Name, NumCols: len(t.Columns)}
+		if err := r.doJSON(ctx, i, http.MethodPost, "/v1/shard/mirror", mreq, &mresp); err != nil {
+			return 0, fmt.Errorf("shard %d: mirroring add of %q: %w", i, t.Name, err)
+		}
+		if mresp.ID != resp.ID {
+			return 0, fmt.Errorf("shard %d: mirror of %q got id %d, owner got %d (id lockstep broken)", i, t.Name, mresp.ID, resp.ID)
+		}
+	}
+	r.muts.Add(1)
+	return resp.ID, nil
+}
+
+// Update routes the in-place update to the owning replica, then
+// mirrors the fresh attribute-id consumption on the peers.
+func (r *Remote) Update(t *d3l.Table) (d3l.UpdateStats, error) {
+	if t == nil {
+		return d3l.UpdateStats{}, fmt.Errorf("d3l: nil table")
+	}
+	ctx, cancel := r.mutationCtx()
+	defer cancel()
+	wire := tableToWire(t)
+	var resp server.UpdateTableResponse
+	owner, err := r.mutateOwner(ctx, t.Name, func(i int) error {
+		return r.doJSON(ctx, i, http.MethodPut, "/v1/tables/"+pathEscape(t.Name), server.UpdateTableRequest{Table: wire}, &resp)
+	})
+	if err != nil {
+		return d3l.UpdateStats{}, err
+	}
+	for i := range r.urls {
+		if i == owner {
+			continue
+		}
+		mreq := server.ShardMirrorRequest{Op: "update", TableID: resp.ID, NumFresh: resp.ReprofiledCols}
+		if err := r.doJSON(ctx, i, http.MethodPost, "/v1/shard/mirror", mreq, new(server.ShardMirrorResponse)); err != nil {
+			return d3l.UpdateStats{}, fmt.Errorf("shard %d: mirroring update of %q: %w", i, t.Name, err)
+		}
+	}
+	r.muts.Add(1)
+	return d3l.UpdateStats{
+		TableID:    resp.ID,
+		Reprofiled: resp.ReprofiledCols,
+		Kept:       resp.KeptCols,
+		Added:      resp.AddedCols,
+		Dropped:    resp.DroppedCols,
+	}, nil
+}
+
+// Remove tombstones the table on its owning replica. Peers hold dead
+// mirror slots; no mirror op is needed.
+func (r *Remote) Remove(name string) error {
+	ctx, cancel := r.mutationCtx()
+	defer cancel()
+	_, err := r.mutateOwner(ctx, name, func(i int) error {
+		return r.doJSON(ctx, i, http.MethodDelete, "/v1/tables/"+pathEscape(name), nil, new(server.RemoveTableResponse))
+	})
+	if err != nil {
+		return err
+	}
+	r.muts.Add(1)
+	return nil
+}
+
+// mutateOwner applies fn to the ring owner first, scanning the other
+// replicas only on a not-found answer (placement drift insurance).
+func (r *Remote) mutateOwner(ctx context.Context, name string, fn func(i int) error) (int, error) {
+	owner := r.place.Owner(name)
+	err := fn(owner)
+	if err == nil {
+		return owner, nil
+	}
+	if !isNotFound(err) {
+		return 0, err
+	}
+	for i := range r.urls {
+		if i == owner {
+			continue
+		}
+		switch scanErr := fn(i); {
+		case scanErr == nil:
+			return i, nil
+		case !isNotFound(scanErr):
+			return 0, scanErr
+		}
+	}
+	return 0, fmt.Errorf("%w: no table %q in the lake", d3l.ErrTableNotFound, name)
+}
+
+func (r *Remote) mutationCtx() (context.Context, context.CancelFunc) {
+	// One generous deadline for the whole owner+mirrors fan-out.
+	return context.WithTimeout(context.Background(), time.Duration(len(r.urls)+1)*r.cfg.ShardTimeout)
+}
+
+// ---- server.Engine: introspection ----
+
+// Tables lists the union of the replicas' live tables, sorted.
+// Fail-closed: an unreachable replica makes the listing fail rather
+// than silently shrink.
+func (r *Remote) Tables() []string {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	var names []string
+	for i := range r.urls {
+		var resp server.TablesResponse
+		if err := r.getJSON(ctx, i, "/v1/tables", &resp); err != nil {
+			return nil
+		}
+		names = append(names, resp.Tables...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasTable asks the ring owner for its live listing, scanning on a
+// miss.
+func (r *Remote) HasTable(name string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	owner := r.place.Owner(name)
+	order := []int{owner}
+	for i := range r.urls {
+		if i != owner {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		var resp server.TablesResponse
+		if err := r.getJSON(ctx, i, "/v1/tables", &resp); err != nil {
+			continue
+		}
+		for _, n := range resp.Tables {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fingerprint folds the construction-time replica fingerprints with
+// the coordinator's own mutation count, so the serving cache
+// invalidates on every mutation routed through here. Out-of-band
+// replica changes require POST /v1/reload on the coordinator (which
+// rebuilds the Remote and re-polls).
+func (r *Remote) Fingerprint() uint64 {
+	const prime = 1099511628211
+	return (r.baseFP ^ r.muts.Load()) * prime
+}
+
+// NumTables reports shard 0's table-slot count (id lockstep makes all
+// replicas equal); 0 if unreachable.
+func (r *Remote) NumTables() int {
+	t, _ := r.statsz(0)
+	return t
+}
+
+// NumAttributes reports shard 0's attribute-slot count; 0 if
+// unreachable.
+func (r *Remote) NumAttributes() int {
+	_, a := r.statsz(0)
+	return a
+}
+
+func (r *Remote) statsz(i int) (tables, attrs int) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	var resp server.StatsResponse
+	if err := r.getJSON(ctx, i, "/v1/statsz", &resp); err != nil {
+		return 0, 0
+	}
+	return resp.Tables, resp.Attributes
+}
+
+// PlannerTotals is zero: the distributed pipeline is plan-free.
+func (r *Remote) PlannerTotals() d3l.PlannerTotals { return d3l.PlannerTotals{} }
+
+// PrewarmScratch is a no-op: the replicas own their arenas.
+func (r *Remote) PrewarmScratch(int) {}
+
+// SetStageObserver is a no-op: per-stage timings are a replica-local
+// concern (each replica exports its own /metrics).
+func (r *Remote) SetStageObserver(d3l.StageObserver) {}
+
+// ---- HTTP plumbing ----
+
+// shardError is a decoded replica error; terminal errors (4xx,
+// unsupported) must not be retried or hedged over.
+type shardError struct {
+	err      error
+	terminal bool
+}
+
+func (e *shardError) Error() string { return e.err.Error() }
+func (e *shardError) Unwrap() error { return e.err }
+
+func isNotFound(err error) bool {
+	return err != nil && errors.Is(err, d3l.ErrTableNotFound)
+}
+
+func pathEscape(s string) string { return url.PathEscape(s) }
+
+// readJSON POSTs a read-path request with retry and optional hedging:
+// the first successful attempt wins, terminal errors return
+// immediately, and exhausted attempts return the last error.
+func (r *Remote) readJSON(ctx context.Context, shard int, path string, in, out any) error {
+	attempts := 1 + r.cfg.Retries
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, attempts)
+	launched := 0
+	launch := func() {
+		launched++
+		go func() {
+			data, err := r.doOnce(ctx, shard, http.MethodPost, path, body)
+			ch <- result{data, err}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	var hedge *time.Timer
+	if r.cfg.HedgeAfter > 0 {
+		hedge = time.NewTimer(r.cfg.HedgeAfter)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+	done := 0
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-hedgeC:
+			if launched < attempts {
+				launch()
+				hedge.Reset(r.cfg.HedgeAfter)
+			}
+		case res := <-ch:
+			done++
+			if res.err == nil {
+				return json.Unmarshal(res.data, out)
+			}
+			lastErr = res.err
+			var se *shardError
+			if errors.As(res.err, &se) && se.terminal {
+				return res.err
+			}
+			if launched < attempts {
+				launch()
+				if hedge != nil {
+					hedge.Reset(r.cfg.HedgeAfter)
+				}
+				continue
+			}
+			if done == launched {
+				return lastErr
+			}
+		}
+	}
+}
+
+// doJSON runs one single-attempt request (mutations).
+func (r *Remote) doJSON(ctx context.Context, shard int, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	data, err := r.doOnce(ctx, shard, method, path, body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+// getJSON runs one GET (health, stats, listings).
+func (r *Remote) getJSON(ctx context.Context, shard int, path string, out any) error {
+	data, err := r.doOnce(ctx, shard, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+// doOnce performs one HTTP attempt under the per-shard timeout and
+// maps replica error bodies back to the library's sentinel errors, so
+// the coordinator's own HTTP layer re-maps them to the same status
+// codes a monolith would answer.
+func (r *Remote) doOnce(ctx context.Context, shard int, method, path string, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, r.urls[shard]+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return data, nil
+	}
+	var eb server.ErrorBody
+	msg := strings.TrimSpace(string(data))
+	if err := json.Unmarshal(data, &eb); err == nil && eb.Error.Message != "" {
+		msg = eb.Error.Message
+	}
+	mapped := fmt.Errorf("shard %s: %s %s: %s", r.urls[shard], method, path, msg)
+	switch eb.Error.Code {
+	case server.CodeNotFound:
+		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrTableNotFound, msg), terminal: true}
+	case server.CodeConflict:
+		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrDuplicateTable, msg), terminal: true}
+	case server.CodeBadRequest:
+		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrInvalidOptions, msg), terminal: true}
+	case server.CodeUnsupported:
+		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrUnsupported, msg), terminal: true}
+	}
+	// Overload, timeout, draining, internal: transient from the
+	// coordinator's seat — retryable.
+	return nil, &shardError{err: fmt.Errorf("%s (status %d)", mapped, resp.StatusCode), terminal: false}
+}
+
+// tableToWire converts a library table to wire shape (row-major).
+func tableToWire(t *d3l.Table) server.TableJSON {
+	out := server.TableJSON{Name: t.Name, Columns: make([]string, len(t.Columns))}
+	rows := 0
+	for i, c := range t.Columns {
+		out.Columns[i] = c.Name
+		if len(c.Values) > rows {
+			rows = len(c.Values)
+		}
+	}
+	out.Rows = make([][]string, rows)
+	for ri := range out.Rows {
+		row := make([]string, len(t.Columns))
+		for ci, c := range t.Columns {
+			if ri < len(c.Values) {
+				row[ci] = c.Values[ri]
+			}
+		}
+		out.Rows[ri] = row
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"d3l"
+	"d3l/internal/server"
+)
+
+// remoteWorld wires the full coordinator topology over a fresh lake:
+// N shard replicas (each one serving stack over one shard engine), a
+// Remote fanning out to them, and the replica servers kept addressable
+// for fault injection.
+type remoteWorld struct {
+	lake     *d3l.Lake
+	mono     *d3l.Engine
+	set      *Set
+	replicas []*httptest.Server
+	remote   *Remote
+}
+
+func buildRemoteWorld(t *testing.T, seed uint64, n int, cfg RemoteConfig) *remoteWorld {
+	t.Helper()
+	lake := testLake(t, seed, 10)
+	mono := buildMono(t, lake)
+	set, err := BuildSet(lake, n, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, n)
+	replicas := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		rs, err := server.New(set.Shard(i), server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = httptest.NewServer(rs)
+		t.Cleanup(replicas[i].Close)
+		urls[i] = replicas[i].URL
+	}
+	remote, err := NewRemote(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &remoteWorld{lake: lake, mono: mono, set: set, replicas: replicas, remote: remote}
+}
+
+// TestRemoteMatchesMonolith: the coordinator backend answers exactly
+// like the monolith, including explanations and batches.
+func TestRemoteMatchesMonolith(t *testing.T) {
+	w := buildRemoteWorld(t, 211, 3, RemoteConfig{})
+	ctx := context.Background()
+	explainName := w.lake.Table(1).Name
+	for _, target := range liveTargets(w.lake, 4) {
+		want, err := w.mono.Query(ctx, target, d3l.WithK(6), d3l.WithExplainFor(explainName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.remote.Query(ctx, target, d3l.WithK(6), d3l.WithExplainFor(explainName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnswersEqual(t, "remote "+target.Name, want, got)
+	}
+	targets := liveTargets(w.lake, 5)
+	wantB, err := w.mono.QueryBatch(ctx, targets, d3l.WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := w.remote.QueryBatch(ctx, targets, d3l.WithK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantB {
+		assertAnswersEqual(t, "remote batch "+targets[i].Name, wantB[i], gotB[i])
+	}
+}
+
+// TestRemoteMutationsMatchMonolith routes Add/Update/Remove through
+// the coordinator (owner + mirror fan-out over HTTP) and checks the
+// replicas answer like a monolith that took the same mutations.
+func TestRemoteMutationsMatchMonolith(t *testing.T) {
+	w := buildRemoteWorld(t, 223, 3, RemoteConfig{})
+	ctx := context.Background()
+
+	added := cloneTable(t, w.lake.Table(2), "remote_added")
+	wantID, err := w.mono.Add(added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := w.remote.Add(cloneTable(t, w.lake.Table(2), "remote_added"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantID != gotID {
+		t.Fatalf("add ids diverge: mono %d remote %d", wantID, gotID)
+	}
+
+	victim := w.lake.Table(1)
+	wantStats, err := w.mono.Update(subTable(t, victim, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := w.remote.Update(subTable(t, victim, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats != gotStats {
+		t.Fatalf("update stats diverge: mono %+v remote %+v", wantStats, gotStats)
+	}
+
+	gone := w.lake.Table(3).Name
+	if err := w.mono.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.remote.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, target := range append(liveTargets(w.lake, 4), added) {
+		want, err := w.mono.Query(ctx, target, d3l.WithK(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.remote.Query(ctx, target, d3l.WithK(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnswersEqual(t, "post-mutation "+target.Name, want, got)
+	}
+}
+
+// TestRemotePartialFailure pins the failure policy: a dead shard fails
+// the query by default (fail-closed), WithPartialResults degrades
+// instead, and an all-dead set fails even under the opt-in.
+func TestRemotePartialFailure(t *testing.T) {
+	w := buildRemoteWorld(t, 241, 3, RemoteConfig{
+		ShardTimeout: 2 * time.Second,
+		Retries:      -1, // no retries: a dead replica should fail fast
+	})
+	ctx := context.Background()
+	target := w.lake.Table(0)
+
+	healthy, err := w.remote.Query(ctx, target, d3l.WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded {
+		t.Fatal("healthy query reports degraded")
+	}
+
+	w.replicas[1].Close()
+
+	if _, err := w.remote.Query(ctx, target, d3l.WithK(5)); err == nil {
+		t.Fatal("fail-closed: query over a dead shard must fail without WithPartialResults")
+	}
+
+	degraded, err := w.remote.Query(ctx, target, d3l.WithK(5), d3l.WithPartialResults())
+	if err != nil {
+		t.Fatalf("partial query: %v", err)
+	}
+	if !degraded.Degraded {
+		t.Fatal("partial answer must be flagged degraded")
+	}
+	if len(degraded.Results) == 0 {
+		t.Fatal("partial answer lost all results")
+	}
+	// The degraded ranking must still be internally consistent: every
+	// surviving shard's tables, monolith order.
+	for i := 1; i < len(degraded.Results); i++ {
+		a, b := degraded.Results[i-1], degraded.Results[i]
+		if a.Distance > b.Distance || (a.Distance == b.Distance && a.Name >= b.Name) {
+			t.Fatalf("degraded ranking out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+
+	w.replicas[0].Close()
+	w.replicas[2].Close()
+	if _, err := w.remote.Query(ctx, target, d3l.WithK(5), d3l.WithPartialResults()); err == nil {
+		t.Fatal("all shards dead: even a partial query must fail")
+	}
+}
+
+// TestCoordinatorPartialOverHTTP drives the opt-in through the full
+// stack: ?partial=true flips the response's degraded flag, its absence
+// fails closed, and the two variants never share a cache entry.
+func TestCoordinatorPartialOverHTTP(t *testing.T) {
+	w := buildRemoteWorld(t, 257, 3, RemoteConfig{
+		ShardTimeout: 2 * time.Second,
+		Retries:      -1,
+	})
+	// Caching is disabled so every request observes the live fan-out:
+	// a cached pre-failure answer is correct and would otherwise
+	// legitimately mask the dead replica.
+	cs, err := server.New(w.remote, server.Config{CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(cs)
+	t.Cleanup(coord.Close)
+	target := tableToWire(w.lake.Table(0))
+
+	status, body := postJSON(t, coord.URL+"/v1/topk", server.TopKRequest{Table: target, K: kptr(5)})
+	if status != http.StatusOK {
+		t.Fatalf("healthy topk: status %d: %s", status, body)
+	}
+	var healthy server.TopKResponse
+	if err := json.Unmarshal(body, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded {
+		t.Fatal("healthy answer flagged degraded")
+	}
+
+	w.replicas[2].Close()
+
+	// Fail-closed without the opt-in. The handler maps the fan-out
+	// failure to a 5xx, never a silent subset.
+	status, body = postJSON(t, coord.URL+"/v1/topk", server.TopKRequest{Table: target, K: kptr(5)})
+	if status == http.StatusOK {
+		t.Fatalf("dead shard without ?partial=true answered 200: %s", body)
+	}
+
+	status, body = postJSON(t, coord.URL+"/v1/topk?partial=true", server.TopKRequest{Table: target, K: kptr(5)})
+	if status != http.StatusOK {
+		t.Fatalf("partial topk: status %d: %s", status, body)
+	}
+	var part server.TopKResponse
+	if err := json.Unmarshal(body, &part); err != nil {
+		t.Fatal(err)
+	}
+	if !part.Degraded {
+		t.Fatalf("partial answer not flagged degraded: %s", body)
+	}
+}
+
+// TestMutationsPurgeShardedCache is the satellite regression test:
+// placement-changing operations (Add/Update/Remove — whichever shard
+// they land on) must purge the sharded serving stack's result cache,
+// through both the HTTP mutation handlers and the watch-mode
+// MutateEngine path.
+func TestMutationsPurgeShardedCache(t *testing.T) {
+	lake := testLake(t, 269, 10)
+	set, err := BuildSet(lake, 3, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(set, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+
+	src := lake.Table(0)
+	target := tableToWire(src)
+	ask := func() []byte {
+		t.Helper()
+		status, body := postJSON(t, hs.URL+"/v1/topk", server.TopKRequest{Table: target, K: kptr(8)})
+		if status != http.StatusOK {
+			t.Fatalf("topk: status %d: %s", status, body)
+		}
+		return body
+	}
+
+	before := ask()
+	if cached := ask(); !bytes.Equal(before, cached) {
+		t.Fatal("repeated query not served consistently")
+	}
+
+	// HTTP add: a clone of the target must enter the ranking, so a
+	// stale cache is immediately visible as its absence.
+	clone := tableToWire(cloneTable(t, src, "purge_probe"))
+	status, body := postJSON(t, hs.URL+"/v1/tables", server.AddTableRequest{Table: clone})
+	if status != http.StatusOK {
+		t.Fatalf("add: status %d: %s", status, body)
+	}
+	afterAdd := ask()
+	if bytes.Equal(before, afterAdd) {
+		t.Fatal("add did not purge the sharded result cache")
+	}
+	if !strings.Contains(string(afterAdd), "purge_probe") {
+		t.Fatalf("post-add answer does not rank the clone: %s", afterAdd)
+	}
+
+	// HTTP remove: the clone must leave the ranking again.
+	req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/tables/purge_probe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: status %d", resp.StatusCode)
+	}
+	afterRemove := ask()
+	if strings.Contains(string(afterRemove), "purge_probe") {
+		t.Fatal("remove did not purge the sharded result cache")
+	}
+
+	// Watch-mode path: cmd/d3l's watcher folds filesystem churn through
+	// MutateEngine; a placement-routed Add there must purge too.
+	if err := srv.MutateEngine(func(e server.Engine) error {
+		_, err := e.Add(cloneTable(t, src, "purge_probe_watch"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	afterWatch := ask()
+	if !strings.Contains(string(afterWatch), "purge_probe_watch") {
+		t.Fatal("MutateEngine (watch path) did not purge the sharded result cache")
+	}
+}
+
+// TestRemoteRetriesTransientFailures: a replica that 503s once per
+// request sequence is healed by the read-path retry.
+func TestRemoteRetriesTransientFailures(t *testing.T) {
+	lake := testLake(t, 281, 8)
+	mono := buildMono(t, lake)
+	set, err := BuildSet(lake, 2, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flake atomic.Int64
+	urls := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		rs, err := server.New(set.Shard(i), server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h http.Handler = rs
+		if i == 1 {
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				// Fail every first probe attempt; health checks and
+				// retries pass through.
+				if strings.HasPrefix(r.URL.Path, "/v1/shard/") && flake.Add(1)%2 == 1 {
+					http.Error(w, `{"error":{"code":"overloaded","message":"injected"}}`, http.StatusTooManyRequests)
+					return
+				}
+				rs.ServeHTTP(w, r)
+			})
+		}
+		replica := httptest.NewServer(h)
+		t.Cleanup(replica.Close)
+		urls[i] = replica.URL
+	}
+	remote, err := NewRemote(urls, RemoteConfig{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	target := lake.Table(0)
+	want, err := mono.Query(ctx, target, d3l.WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Query(ctx, target, d3l.WithK(5))
+	if err != nil {
+		t.Fatalf("retry did not heal transient failure: %v", err)
+	}
+	assertAnswersEqual(t, "retried", want, got)
+}
+
+// TestRemoteErrorMapping: replica error bodies surface as the
+// library's sentinel errors through the coordinator backend.
+func TestRemoteErrorMapping(t *testing.T) {
+	w := buildRemoteWorld(t, 293, 2, RemoteConfig{})
+	if _, err := w.remote.Update(cloneTable(t, w.lake.Table(0), "never_added")); !errors.Is(err, d3l.ErrTableNotFound) {
+		t.Fatalf("update of unknown table: got %v, want ErrTableNotFound", err)
+	}
+	if _, err := w.remote.Add(cloneTable(t, w.lake.Table(0), w.lake.Table(0).Name)); !errors.Is(err, d3l.ErrDuplicateTable) {
+		t.Fatalf("duplicate add: got %v, want ErrDuplicateTable", err)
+	}
+	if err := w.remote.Remove("never_added"); !errors.Is(err, d3l.ErrTableNotFound) {
+		t.Fatalf("remove of unknown table: got %v, want ErrTableNotFound", err)
+	}
+}

@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"d3l"
+)
+
+// shardCounts is the property-suite sweep: 1 (degenerate set must
+// still match), 2, 3, and 7 (more shards than some queries have
+// candidate tables, so empty partials merge too).
+var shardCounts = []int{1, 2, 3, 7}
+
+// TestSetMatchesMonolith is the core equivalence property: for every
+// shard count, Query / QueryBatch / explanations over the set deep-
+// equal the monolith over the union lake — including the committed
+// distance ties between the tie_twin_* clones.
+func TestSetMatchesMonolith(t *testing.T) {
+	lake := testLake(t, 71, 18)
+	mono := buildMono(t, lake)
+	targets := liveTargets(lake, 3)
+	targets = append(targets, lake.ByName("tie_twin_a"))
+	ctx := context.Background()
+
+	// Prove the tie exists before asserting it is preserved: both
+	// twins must rank with exactly equal distance for their own
+	// content.
+	twinAns, err := mono.Query(ctx, lake.ByName("tie_twin_a"), d3l.WithK(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twinDist []float64
+	for _, r := range twinAns.Results {
+		if strings.HasPrefix(r.Name, "tie_twin_") {
+			twinDist = append(twinDist, r.Distance)
+		}
+	}
+	if len(twinDist) != 2 || twinDist[0] != twinDist[1] {
+		t.Fatalf("tie construction failed: twin distances %v", twinDist)
+	}
+
+	explainName := lake.Table(1).Name
+	for _, n := range shardCounts {
+		set, err := BuildSet(lake, n, d3l.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti, target := range targets {
+			label := target.Name
+			want, err := mono.Query(ctx, target, d3l.WithK(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := set.Query(ctx, target, d3l.WithK(8))
+			if err != nil {
+				t.Fatalf("%d shards, target %d: %v", n, ti, err)
+			}
+			assertAnswersEqual(t, label, want, got)
+
+			// K>0 with an explanation riding along.
+			want, err = mono.Query(ctx, target, d3l.WithK(5), d3l.WithExplainFor(explainName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = set.Query(ctx, target, d3l.WithK(5), d3l.WithExplainFor(explainName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAnswersEqual(t, label+"+explain", want, got)
+		}
+
+		// Explanation-only (K 0) queries.
+		target := targets[0]
+		want, err := mono.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor(explainName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := set.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor(explainName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnswersEqual(t, "explain-only", want, got)
+
+		// Batch: all targets through one call.
+		wantB, err := mono.QueryBatch(ctx, targets, d3l.WithK(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := set.QueryBatch(ctx, targets, d3l.WithK(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantB) != len(gotB) {
+			t.Fatalf("%d shards: batch length %d vs %d", n, len(wantB), len(gotB))
+		}
+		for i := range wantB {
+			assertAnswersEqual(t, "batch "+targets[i].Name, wantB[i], gotB[i])
+		}
+	}
+}
+
+// TestSetMatchesMonolithAfterMutations drives set and monolith through
+// the same Add / Update / Remove sequence through their public
+// surfaces — the set routing by placement, the monolith directly — and
+// re-checks equivalence, ids and stats at every step.
+func TestSetMatchesMonolithAfterMutations(t *testing.T) {
+	lake := testLake(t, 137, 14)
+	mono := buildMono(t, lake)
+	set, err := BuildSet(lake, 3, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Add: a clone of table 2 under a fresh name.
+	added := cloneTable(t, lake.Table(2), "post_build_add")
+	wantID, err := mono.Add(added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := set.Add(cloneTable(t, lake.Table(2), "post_build_add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantID != gotID {
+		t.Fatalf("add ids diverge: mono %d set %d", wantID, gotID)
+	}
+
+	// Update: shrink table 1 in place so profiles genuinely change.
+	victim := lake.Table(1)
+	wantStats, err := mono.Update(subTable(t, victim, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := set.Update(subTable(t, victim, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats != gotStats {
+		t.Fatalf("update stats diverge: mono %+v set %+v", wantStats, gotStats)
+	}
+
+	// Remove: tombstone table 3 on both sides.
+	gone := lake.Table(3).Name
+	if err := mono.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	if set.HasTable(gone) {
+		t.Fatalf("removed table %q still reported live", gone)
+	}
+
+	for _, target := range append(liveTargets(lake, 4), added) {
+		want, err := mono.Query(ctx, target, d3l.WithK(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := set.Query(ctx, target, d3l.WithK(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnswersEqual(t, "post-mutation "+target.Name, want, got)
+	}
+
+	// Introspection parity after the full sequence.
+	if mono.NumTables() != set.NumTables() {
+		t.Fatalf("table slots diverge: mono %d set %d", mono.NumTables(), set.NumTables())
+	}
+	if mono.NumAttributes() != set.NumAttributes() {
+		t.Fatalf("attribute slots diverge: mono %d set %d", mono.NumAttributes(), set.NumAttributes())
+	}
+	monoNames := mono.Tables()
+	setNames := set.Tables()
+	if len(monoNames) != len(setNames) {
+		t.Fatalf("live listings diverge: mono %v set %v", monoNames, setNames)
+	}
+	for i := range monoNames {
+		if monoNames[i] != setNames[i] {
+			t.Fatalf("live listings diverge at %d: mono %q set %q", i, monoNames[i], setNames[i])
+		}
+	}
+}
+
+// TestSetErrorContract pins the error surface: joins are rejected with
+// ErrUnsupported, unknown explanation targets mirror the monolith's
+// exact ErrTableNotFound message, and queries after the failure still
+// work.
+func TestSetErrorContract(t *testing.T) {
+	lake := testLake(t, 29, 6)
+	mono := buildMono(t, lake)
+	set, err := BuildSet(lake, 2, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	target := lake.Table(0)
+
+	if _, err := set.Query(ctx, target, d3l.WithK(3), d3l.WithJoins()); !errors.Is(err, d3l.ErrUnsupported) {
+		t.Fatalf("joins over shards: got %v, want ErrUnsupported", err)
+	}
+
+	_, wantErr := mono.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor("no_such_table"))
+	_, gotErr := set.Query(ctx, target, d3l.WithK(0), d3l.WithExplainFor("no_such_table"))
+	if !errors.Is(gotErr, d3l.ErrTableNotFound) {
+		t.Fatalf("unknown explain target: got %v, want ErrTableNotFound", gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error text diverges:\nmono: %v\nset:  %v", wantErr, gotErr)
+	}
+
+	if _, err := set.Query(ctx, target, d3l.WithK(3)); err != nil {
+		t.Fatalf("query after rejected options: %v", err)
+	}
+}
+
+// TestManifestRoundTrip proves the build-once/serve-many flow for
+// sharded sets: BuildSet → WriteSet → LoadSet answers exactly like the
+// monolith (and so like the set it was snapshotted from).
+func TestManifestRoundTrip(t *testing.T) {
+	lake := testLake(t, 97, 10)
+	mono := buildMono(t, lake)
+	set, err := BuildSet(lake, 3, d3l.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteSet(set, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSet(filepath.Join(dir, ManifestName), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 3 {
+		t.Fatalf("loaded %d shards, want 3", loaded.NumShards())
+	}
+	ctx := context.Background()
+	for _, target := range liveTargets(lake, 4) {
+		want, err := mono.Query(ctx, target, d3l.WithK(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Query(ctx, target, d3l.WithK(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnswersEqual(t, "loaded "+target.Name, want, got)
+	}
+}
+
+// TestPlacementProperties pins the ring: determinism across
+// constructions, full shard coverage at realistic table counts, and
+// bounded movement under a shard-count change (the consistent-hashing
+// point — most placements survive adding a shard).
+func TestPlacementProperties(t *testing.T) {
+	p5a, err := NewPlacement(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5b, _ := NewPlacement(5, 0)
+	p6, _ := NewPlacement(6, 0)
+
+	names := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		names = append(names, "table_"+string(rune('a'+i%26))+"_"+itoa(i))
+	}
+	seen := make(map[int]int)
+	moved := 0
+	for _, name := range names {
+		o := p5a.Owner(name)
+		if o != p5b.Owner(name) {
+			t.Fatalf("placement not deterministic for %q", name)
+		}
+		if o < 0 || o >= 5 {
+			t.Fatalf("owner %d out of range for %q", o, name)
+		}
+		seen[o]++
+		if p6.Owner(name) != o {
+			moved++
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d of 5 shards own tables: %v", len(seen), seen)
+	}
+	// Ideal movement 5→6 is 1/6 ≈ 17%; allow generous slack but fail
+	// a placement that reshuffles like a modulo hash (~83%).
+	if frac := float64(moved) / float64(len(names)); frac > 0.40 {
+		t.Fatalf("%.0f%% of tables moved going 5→6 shards; consistent hashing should move ~17%%", 100*frac)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -400,6 +400,19 @@ func (l *Lake) Remove(name string) (int, bool) {
 	return id, true
 }
 
+// Reserve appends a detached name-only slot and returns its id,
+// without claiming the name in the index — the slot is born in the
+// state Remove leaves behind. Shard engines use it to mirror a table
+// added on a peer shard: the id advances in lockstep with the owning
+// shard's Add, but the name stays free here, so lookups and a later
+// real Add of the same name behave as if the table never existed
+// locally.
+func (l *Lake) Reserve(name string) int {
+	id := len(l.tables)
+	l.tables = append(l.tables, &Table{Name: name})
+	return id
+}
+
 // Len reports the number of tables.
 func (l *Lake) Len() int { return len(l.tables) }
 

@@ -53,6 +53,7 @@ type queryConfig struct {
 	disabled    *[NumEvidence]bool
 	budget      int
 	noPlanner   bool
+	partialOK   bool
 	parallelism int   // internal: QueryBatch pins inner queries to 1
 	err         error // first option error, reported by Query
 }
@@ -172,6 +173,17 @@ func WithPlanner(enabled bool) QueryOption {
 	return func(c *queryConfig) { c.noPlanner = !enabled }
 }
 
+// WithPartialResults opts this query into the sharded coordinator's
+// degraded mode: when a shard replica is unreachable after retries, the
+// query is answered from the surviving shards and Answer.Degraded is
+// set, instead of failing closed (the default). A degraded answer ranks
+// only tables owned by the shards that responded. The option is inert
+// on a monolithic engine and on in-process shard sets, which have no
+// replicas to lose.
+func WithPartialResults() QueryOption {
+	return func(c *queryConfig) { c.partialOK = true }
+}
+
 // WithCandidateBudget caps the candidates gathered per target
 // attribute per index for this query (0 keeps the engine default,
 // which derives from k). Larger budgets trade latency for recall.
@@ -239,6 +251,10 @@ type Answer struct {
 	// deterministic pruning counters. Zero for explanation-only queries
 	// and under WithPlanner(false).
 	Plan PlanStats
+	// Degraded reports that a sharded query was answered from a subset
+	// of its shards under the opt-in partial-failure policy. Monolith
+	// answers and fully-healthy sharded answers always report false.
+	Degraded bool
 }
 
 // Query answers one discovery query: the k most related lake tables

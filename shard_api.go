@@ -1,0 +1,143 @@
+package d3l
+
+import (
+	"context"
+	"errors"
+
+	"d3l/internal/core"
+)
+
+// This file is the engine-level surface of the sharded serving path
+// (see internal/shard): thin wrappers that expose the core scatter-
+// gather protocol — probe, depth merge, gather, result merge — and the
+// mirror mutations that keep a shard set's id space in lockstep. The
+// exactness argument lives in internal/core/shardsearch.go; nothing
+// here adds semantics beyond the d3l Engine's usual lock discipline.
+
+// Shard protocol types, re-exported for the shard and server layers.
+type (
+	// ShardProbe is one shard's probe-phase answer: per (target
+	// column, forest), the per-depth distinct candidate counts.
+	ShardProbe = core.ShardProbe
+	// ShardDepths is the coordinator's depth directive derived from
+	// the summed probes.
+	ShardDepths = core.ShardDepths
+	// ShardPartial is one shard's gather-phase answer: best-pair rows
+	// per owned candidate table plus the Eq. 2 sample vectors.
+	ShardPartial = core.ShardPartial
+	// ShardQueryMeta is the resolved query shape all shards must agree
+	// on.
+	ShardQueryMeta = core.ShardQueryMeta
+)
+
+// ErrUnsupported reports a query feature the sharded execution path
+// does not implement (currently WithJoins: the SA-join graph spans
+// shards). The HTTP layer maps it to 501.
+var ErrUnsupported = errors.New("d3l: not supported in sharded mode")
+
+// ShardQuery is a Query option list resolved for the sharded execution
+// path: the same validation Query performs, with the planner pinned
+// off (the shard protocol distributes the plan-free pipeline, whose
+// answers the planner is contractually bit-identical to).
+type ShardQuery struct {
+	// K is the effective answer size (0 for explanation-only queries).
+	K int
+	// ExplainFor is the lake table to explain against, when requested.
+	ExplainFor string
+	// PartialOK marks the query as accepting a degraded answer from a
+	// subset of shards (WithPartialResults).
+	PartialOK bool
+	// Spec is the resolved core query parameter block shards run with.
+	Spec core.QuerySpec
+}
+
+// ResolveShardQuery validates a Query option list for sharded
+// execution. WithJoins is rejected with ErrUnsupported.
+func ResolveShardQuery(opts ...QueryOption) (*ShardQuery, error) {
+	cfg, err := newQueryConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.joins {
+		return nil, errors.Join(ErrUnsupported, errors.New("d3l: WithJoins requires the SA-join graph, which spans shards"))
+	}
+	return &ShardQuery{
+		K:          cfg.k,
+		ExplainFor: cfg.explainFor,
+		PartialOK:  cfg.partialOK,
+		Spec: core.QuerySpec{
+			K:               cfg.k,
+			Weights:         cfg.weights,
+			Disabled:        cfg.disabled,
+			CandidateBudget: cfg.budget,
+			Parallelism:     cfg.parallelism,
+			DisablePlanner:  true,
+		},
+	}, nil
+}
+
+// ShardProbe runs the probe phase of one sharded query on this engine.
+func (e *Engine) ShardProbe(ctx context.Context, target *Table, spec core.QuerySpec) (*ShardProbe, error) {
+	return e.core.ShardProbeSpec(ctx, target, spec)
+}
+
+// ShardGather runs the gather phase of one sharded query on this
+// engine at the coordinator's imposed depths.
+func (e *Engine) ShardGather(ctx context.Context, target *Table, spec core.QuerySpec, depths *ShardDepths) (*ShardPartial, error) {
+	return e.core.ShardGatherSpec(ctx, target, spec, depths)
+}
+
+// ShardExplain computes the Table I-style explanation rows against a
+// lake table owned by this shard. Explanations are purely pairwise —
+// only the spec's evidence mask affects the rows, never the other
+// shards' contents — so routing them to the owning shard is exact.
+func (e *Engine) ShardExplain(ctx context.Context, target *Table, lakeTable string, spec core.QuerySpec) ([]PairExplanation, error) {
+	return e.core.ExplainSpec(ctx, target, lakeTable, spec)
+}
+
+// MergeShardDepths replays the monolith's probe-descent stop rule on
+// the summed per-shard counts (see core.MergeProbeDepths).
+func MergeShardDepths(probes []*ShardProbe) (*ShardDepths, error) {
+	return core.MergeProbeDepths(probes)
+}
+
+// MergeShardPartials merges the shards' gather answers into the final
+// ranking — byte-identical to the monolith's for the same query.
+func MergeShardPartials(depths *ShardDepths, partials []*ShardPartial) ([]Result, QueryStats, error) {
+	ranked, st, err := core.MergeShardPartials(depths, partials)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ranked, QueryStats{
+		K:              depths.Meta.K,
+		CandidatePairs: st.CandidatePairs,
+		TablesScored:   st.TablesScored,
+	}, nil
+}
+
+// MirrorAdd appends a dead table slot mirroring an Add applied on a
+// peer shard, keeping this engine's table and attribute id counters in
+// lockstep with the owner's (see core.Engine.MirrorAdd).
+func (e *Engine) MirrorAdd(name string, numCols int) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.core.MirrorAdd(name, numCols)
+	if err != nil {
+		return 0, err
+	}
+	e.invalidateGraph()
+	return id, nil
+}
+
+// MirrorUpdate appends dead attribute slots mirroring an in-place
+// Update applied on a peer shard; numFresh is the owner's
+// UpdateStats.Reprofiled.
+func (e *Engine) MirrorUpdate(tid, numFresh int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.core.MirrorUpdate(tid, numFresh); err != nil {
+		return err
+	}
+	e.invalidateGraph()
+	return nil
+}

@@ -34,14 +34,22 @@ func (m *multiFlag) Set(v string) error {
 //
 // The -shard flags are positional: the i-th flag is shard ordinal i
 // and must serve the i-th snapshot of the manifest the set was built
-// from, or placement-routed mutations and explanations will miss.
-// Startup is fail-closed (every replica must answer its health check);
-// POST /v1/reload re-polls the replicas and atomically swaps in the
-// refreshed coordinator state.
+// from, or placement-routed mutations and explanations will miss. Each
+// -shard value may list several comma-separated replica URLs for that
+// ordinal ("http://a:8081,http://b:8081"): the coordinator tracks each
+// replica's health behind a circuit breaker, routes to the healthiest,
+// fails over on transient errors, and hedges slow calls across
+// replicas. Startup requires at least one reachable replica per shard
+// (agreeing on the snapshot fingerprint); a replica that is down at
+// startup begins with its breaker open and is re-admitted by the
+// active prober once it answers health checks again. GET /v1/readyz
+// reports 503 with the degraded shard groups while any shard has no
+// closed-breaker replica. POST /v1/reload re-polls the replicas and
+// atomically swaps in the refreshed coordinator state.
 func cmdCoordinator(args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
 	var shardURLs multiFlag
-	fs.Var(&shardURLs, "shard", "shard replica base URL, one per shard ordinal in manifest order (repeatable)")
+	fs.Var(&shardURLs, "shard", "shard replica base URL(s), one flag per shard ordinal in manifest order; comma-separate replicas of the same shard (repeatable)")
 	addr := fs.String("addr", ":8080", "listen address")
 	maxConcurrent := fs.Int("max-concurrent", 0, "admission gate: concurrent queries+mutations (0 = 2x GOMAXPROCS)")
 	admissionWait := fs.Duration("admission-wait", 0, "max wait for a concurrency slot before 429 (0 = 100ms)")
@@ -51,7 +59,13 @@ func cmdCoordinator(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt deadline for one shard HTTP call (0 = 10s)")
 	retries := fs.Int("retries", 1, "extra attempts per failed read-path shard call (-1 disables retries)")
-	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate a slow shard call after this long (0 disables hedging)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate a slow shard call on a sibling replica after this long (0 disables hedging)")
+	retryDelay := fs.Duration("retry-delay", 0, "base backoff between retry attempts, jittered and doubled per attempt (0 = 50ms, negative disables)")
+	probeInterval := fs.Duration("probe-interval", 0, "active health-probe cadence for tripped replicas (0 = 1s, negative disables)")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive replica failures that open its circuit breaker (0 = 5, negative disables)")
+	breakerRate := fs.Float64("breaker-rate", 0, "windowed replica failure rate that opens its breaker (0 = 0.5, negative disables)")
+	breakerBackoff := fs.Duration("breaker-backoff", 0, "base open-breaker dwell before a half-open trial, jittered and doubled per failed trial (0 = 500ms)")
+	seed := fs.Uint64("seed", 0, "jitter seed for retry/breaker backoff spreading (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,9 +73,17 @@ func cmdCoordinator(args []string) error {
 		return fmt.Errorf("coordinator: at least one -shard URL is required")
 	}
 	rcfg := shard.RemoteConfig{
-		ShardTimeout: *shardTimeout,
-		Retries:      *retries,
-		HedgeAfter:   *hedgeAfter,
+		ShardTimeout:  *shardTimeout,
+		Retries:       *retries,
+		HedgeAfter:    *hedgeAfter,
+		RetryDelay:    *retryDelay,
+		ProbeInterval: *probeInterval,
+		Seed:          *seed,
+		Breaker: shard.BreakerConfig{
+			ConsecutiveFailures: *breakerFailures,
+			FailureRate:         *breakerRate,
+			Backoff:             *breakerBackoff,
+		},
 	}
 	remote, err := shard.NewRemote(shardURLs, rcfg)
 	if err != nil {
@@ -106,8 +128,8 @@ func cmdCoordinator(args []string) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
 
-	fmt.Fprintf(os.Stderr, "d3l coordinator: listening on %s, fanning out to %d shards (engine %016x)\n",
-		*addr, remote.NumShards(), remote.Fingerprint())
+	fmt.Fprintf(os.Stderr, "d3l coordinator: listening on %s, fanning out to %d shards / %d replicas (engine %016x)\n",
+		*addr, remote.NumShards(), remote.NumReplicas(), remote.Fingerprint())
 	for i, u := range remote.URLs() {
 		fmt.Fprintf(os.Stderr, "d3l coordinator:   shard %d: %s\n", i, u)
 	}
@@ -123,6 +145,13 @@ func cmdCoordinator(args []string) error {
 		if err := hs.Shutdown(ctx); err != nil {
 			return err
 		}
-		return srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		// Stop the active health prober of whichever Remote is
+		// current (reloads close retired ones as they are swapped
+		// out).
+		if c, ok := srv.Engine().(interface{ Close() error }); ok {
+			c.Close()
+		}
+		return err
 	}
 }

@@ -76,6 +76,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "coordinator":
 		err = cmdCoordinator(os.Args[2:])
+	case "faultproxy":
+		err = cmdFaultproxy(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
 	case "loadgen":
@@ -109,7 +111,12 @@ func usage() {
   d3l explain     -dir DIR | -index FILE.d3l  -target FILE.csv -table NAME
   d3l serve       -index FILE.d3l | -dir DIR  [-addr :8080] [-cache N] [-max-concurrent N] [-timeout D] [-pprof ADDR]
                   [-watch] [-watch-interval D] [-shards N]  (with -shards N, -index names a shard manifest)
-  d3l coordinator -shard URL [-shard URL ...]  [-addr :8080] [-cache N] [-shard-timeout D] [-retries N] [-hedge-after D]
+  d3l coordinator -shard URL[,URL...] [-shard ...]  [-addr :8080] [-cache N] [-shard-timeout D] [-retries N]
+                  [-retry-delay D] [-hedge-after D] [-probe-interval D] [-breaker-failures N] [-breaker-rate F]
+                  [-breaker-backoff D]  (comma-separated URLs are replicas of one shard; GET /v1/readyz reports
+                  503 while any shard group has no healthy replica)
+  d3l faultproxy  -target URL [-listen :8191] [-seed N] [-latency D -latency-prob F] [-error-prob F]
+                  [-reset-prob F] [-truncate-prob F] [-blackhole-prob F]  (POST /_fault/rules re-arms at runtime)
   d3l watch       -dir DIR [-index FILE.d3l] [-interval D]
   d3l loadgen     -url URL [-url URL ...] | -direct  -index FILE.d3l | -dir DIR  [-duration D] [-warmup D]
                   [-workers N] [-seed N] [-mix topk=4,query=4,batch=1,mutate=1,update=1] [-out FILE.json]

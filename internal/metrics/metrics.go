@@ -156,6 +156,17 @@ func (w *Writer) Gauge(name, help string, v float64, labels ...Label) {
 	w.sample(name, labels, v)
 }
 
+// Family emits a family's # HELP/# TYPE header with no samples (legal
+// exposition: Prometheus treats a sample-less family as present but
+// empty). Collectors whose sample set is dynamic — one gauge per
+// replica of a replicated backend, say — use it so the family always
+// appears in a scrape and "family missing" stays a sound fail-closed
+// gate even when there are zero members. typ must be "counter",
+// "gauge" or "histogram".
+func (w *Writer) Family(name, help, typ string) {
+	w.header(name, help, typ)
+}
+
 // Counter is a monotonically increasing counter.
 type Counter struct {
 	name, help string

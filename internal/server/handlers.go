@@ -544,7 +544,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "server is draining for shutdown")
 		return
 	}
-	if s.cfg.SnapshotPath == "" {
+	if s.cfg.SnapshotPath == "" && s.cfg.LoadFunc == nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			"no snapshot path configured; start the server with -index to enable reload")
 		return

@@ -88,6 +88,10 @@ var metricFamilyNames = []string{
 	"d3l_plan_tables_pruned_total",
 	"d3l_plan_pairs_pruned_total",
 	"d3l_plan_evidence_evals_elided_total",
+	"d3l_replica_breaker_state",
+	"d3l_replica_failovers_total",
+	"d3l_replica_probe_failures_total",
+	"d3l_replica_hedge_wins_total",
 	"d3l_query_stage_duration_seconds",
 }
 
@@ -236,6 +240,29 @@ func (s *Server) collectStats(w *metrics.Writer) {
 	w.Counter("d3l_plan_tables_pruned_total", "Candidate tables pruned by the evidence cascade.", float64(snap.Planner.TablesPruned))
 	w.Counter("d3l_plan_pairs_pruned_total", "Candidate pairs inside pruned tables.", float64(snap.Planner.PairsPruned))
 	w.Counter("d3l_plan_evidence_evals_elided_total", "Per-table evidence evaluations elided by early termination.", float64(snap.Planner.EvidenceEvalsElided))
+
+	// Replica fault-tolerance families. Engines without replica
+	// groups (monoliths, in-process shard sets) expose the families
+	// with zero values — every family in MetricNames appears on every
+	// scrape, so the loadgen/chaos fail-closed gates stay sound. The
+	// breaker-state gauge has one series per replica; with no
+	// replicas it is emitted as a sample-less family.
+	var health ReplicaHealth
+	if rep, ok := s.Engine().(ReplicaHealthReporter); ok {
+		health = rep.ReplicaHealth()
+	}
+	w.Family("d3l_replica_breaker_state",
+		"Per-replica circuit-breaker state (0 closed, 1 half-open, 2 open, 3 quarantined).", "gauge")
+	for _, rs := range health.Replicas {
+		w.Gauge("d3l_replica_breaker_state",
+			"Per-replica circuit-breaker state (0 closed, 1 half-open, 2 open, 3 quarantined).",
+			replicaStateValue(rs.State),
+			metrics.Label{Name: "shard", Value: fmt.Sprintf("%d", rs.Shard)},
+			metrics.Label{Name: "replica", Value: rs.URL})
+	}
+	w.Counter("d3l_replica_failovers_total", "Read-path attempts that moved to a sibling replica after a transient failure.", float64(health.Failovers))
+	w.Counter("d3l_replica_probe_failures_total", "Active health probes of open-breaker replicas that failed.", float64(health.ProbeFailures))
+	w.Counter("d3l_replica_hedge_wins_total", "Hedged requests whose duplicate on a sibling replica answered first.", float64(health.HedgeWins))
 }
 
 // MetricsHandler returns the /metrics endpoint handler, for mounting

@@ -1,0 +1,110 @@
+package server
+
+import "net/http"
+
+// This file is the serving layer's window into a replicated engine
+// backend. The coordinator's shard.Remote fans out to replica groups
+// with a circuit breaker per replica; the server cannot import the
+// shard package (shard imports server for the wire types), so the
+// health-reporting surface is defined here and implemented there.
+
+// Replica breaker states as reported by a ReplicaHealthReporter and
+// rendered into the d3l_replica_breaker_state gauge. The numeric
+// values are the gauge values — keep them stable, dashboards alert on
+// them.
+const (
+	ReplicaStateClosed      = "closed"
+	ReplicaStateHalfOpen    = "half-open"
+	ReplicaStateOpen        = "open"
+	ReplicaStateQuarantined = "quarantined"
+)
+
+// replicaStateValue maps a breaker state to its gauge value.
+func replicaStateValue(state string) float64 {
+	switch state {
+	case ReplicaStateClosed:
+		return 0
+	case ReplicaStateHalfOpen:
+		return 1
+	case ReplicaStateOpen:
+		return 2
+	default: // quarantined (or unknown — worst case)
+		return 3
+	}
+}
+
+// ReplicaStatus describes one replica of one shard group.
+type ReplicaStatus struct {
+	Shard int    `json:"shard"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+// ReplicaHealth is a point-in-time reading of a replicated backend's
+// fault-tolerance machinery.
+type ReplicaHealth struct {
+	Shards        int
+	Replicas      []ReplicaStatus
+	Failovers     uint64
+	ProbeFailures uint64
+	HedgeWins     uint64
+}
+
+// ReplicaHealthReporter is implemented by engines that fan out to
+// replica groups (shard.Remote). The server uses it for /v1/readyz
+// and the d3l_replica_* metric families; engines without replicas
+// simply don't implement it.
+type ReplicaHealthReporter interface {
+	ReplicaHealth() ReplicaHealth
+}
+
+// ReadyShard lists the replicas of a shard group with no closed
+// breaker left, inside a 503 /v1/readyz body.
+type ReadyShard struct {
+	Shard    int             `json:"shard"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ReadyResponse is the GET /v1/readyz body.
+type ReadyResponse struct {
+	Status   string       `json:"status"` // "ready", "degraded" or "draining"
+	Degraded []ReadyShard `json:"degraded,omitempty"`
+}
+
+// handleReadyz answers readiness, as distinct from /v1/healthz
+// liveness: a coordinator is ready only while every shard group still
+// has at least one closed-breaker replica — i.e. while it can still
+// answer exact (non-degraded) queries. Engines without replica groups
+// are ready whenever they are not draining. Load balancers should
+// route on readyz and restart on healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
+		return
+	}
+	rep, ok := s.Engine().(ReplicaHealthReporter)
+	if !ok {
+		writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+		return
+	}
+	health := rep.ReplicaHealth()
+	byShard := make(map[int][]ReplicaStatus, health.Shards)
+	closed := make(map[int]bool, health.Shards)
+	for _, rs := range health.Replicas {
+		byShard[rs.Shard] = append(byShard[rs.Shard], rs)
+		if rs.State == ReplicaStateClosed {
+			closed[rs.Shard] = true
+		}
+	}
+	var degraded []ReadyShard
+	for shard := 0; shard < health.Shards; shard++ {
+		if !closed[shard] {
+			degraded = append(degraded, ReadyShard{Shard: shard, Replicas: byShard[shard]})
+		}
+	}
+	if len(degraded) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "degraded", Degraded: degraded})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}

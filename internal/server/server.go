@@ -283,6 +283,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/shard/explain", s.handleShardExplain)
 	s.mux.HandleFunc("POST /v1/shard/mirror", s.handleShardMirror)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -336,9 +337,20 @@ func (s *Server) Swap(engine Engine) error {
 	// per-engine state, so the incoming engine gets its own registration
 	// before it takes traffic.
 	engine.SetStageObserver(s.metrics.observeCoreStage)
+	old := s.engine.Load()
 	s.engine.Store(&engineBox{e: engine})
 	s.swapGen.Add(1)
 	s.cache.purge()
+	// A retired engine that owns background resources (the
+	// coordinator backend runs a health prober) is closed once it is
+	// out of the serving slot. Close is defined to be safe concurrent
+	// with the in-flight requests still finishing against it: it only
+	// stops background work, never the request path.
+	if old != nil && old.e != engine {
+		if c, ok := old.e.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
 	return nil
 }
 

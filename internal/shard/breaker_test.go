@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injected, manually advanced clock: every breaker
+// transition test runs instantly and deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// fixedRnd pins the jitter draw mid-range so backoff dwells are exact
+// in tests: with Jitter j, u=0.5 scales a dwell by exactly 1.0.
+func fixedRnd() uint64 { return 1 << 63 }
+
+func testBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	return newBreaker(cfg, clk.now, fixedRnd), clk
+}
+
+func wantState(t *testing.T, b *breaker, want BreakerState) {
+	t.Helper()
+	if got, _, _ := b.Snapshot(); got != want {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+}
+
+// TestBreakerTransitions drives the automaton through every edge with
+// a table of scripted steps. want ("closed", "half-open", "open")
+// asserts the state after the step; empty skips the check.
+func TestBreakerTransitions(t *testing.T) {
+	cfg := BreakerConfig{
+		ConsecutiveFailures: 3,
+		Backoff:             time.Second,
+		BackoffMax:          4 * time.Second,
+		Jitter:              -1, // exact dwells
+	}
+	type step struct {
+		op   string        // "fail", "ok", "advance", "release", "allow", "deny"
+		d    time.Duration // for advance
+		want string
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"closed-absorbs-sub-threshold-failures", []step{
+			{op: "fail", want: "closed"},
+			{op: "fail", want: "closed"},
+			{op: "ok", want: "closed"},
+			{op: "fail", want: "closed"}, // consec reset by the success
+			{op: "fail", want: "closed"},
+		}},
+		{"closed-trips-on-consecutive-threshold", []step{
+			{op: "fail"}, {op: "fail"},
+			{op: "fail", want: "open"},
+			{op: "deny", want: "open"}, // inside backoff
+		}},
+		{"open-admits-trial-after-backoff", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", want: "open"},
+			{op: "advance", d: 999 * time.Millisecond},
+			{op: "deny", want: "open"},
+			{op: "advance", d: time.Millisecond},
+			{op: "allow", want: "half-open"},
+			{op: "deny", want: "half-open"}, // one trial at a time
+		}},
+		{"half-open-success-closes-and-resets", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", want: "open"},
+			{op: "advance", d: time.Second},
+			{op: "allow", want: "half-open"},
+			{op: "ok", want: "closed"},
+			// The ladder reset means the next trip waits 1s again,
+			// not 2s.
+			{op: "fail"}, {op: "fail"}, {op: "fail", want: "open"},
+			{op: "advance", d: time.Second},
+			{op: "allow", want: "half-open"},
+		}},
+		{"half-open-failure-reopens-with-doubled-backoff", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", want: "open"},
+			{op: "advance", d: time.Second},
+			{op: "allow", want: "half-open"},
+			{op: "fail", want: "open"},
+			{op: "advance", d: time.Second}, // doubled: 2s now
+			{op: "deny", want: "open"},
+			{op: "advance", d: time.Second},
+			{op: "allow", want: "half-open"},
+			{op: "fail", want: "open"},
+			{op: "advance", d: 4 * time.Second}, // capped at BackoffMax
+			{op: "allow", want: "half-open"},
+		}},
+		{"release-frees-the-trial-slot", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", want: "open"},
+			{op: "advance", d: time.Second},
+			{op: "allow", want: "half-open"},
+			{op: "release", want: "half-open"},
+			{op: "allow", want: "half-open"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, clk := testBreaker(cfg)
+			for i, s := range tc.steps {
+				switch s.op {
+				case "fail":
+					b.OnFailure()
+				case "ok":
+					b.OnSuccess()
+				case "advance":
+					clk.advance(s.d)
+				case "release":
+					b.Release()
+				case "allow":
+					if ok, probe := b.Allow(); !ok || !probe {
+						t.Fatalf("step %d: Allow() = (%v,%v), want trial grant", i, ok, probe)
+					}
+				case "deny":
+					if ok, _ := b.Allow(); ok {
+						t.Fatalf("step %d: Allow() granted, want deny", i)
+					}
+				}
+				if s.want != "" {
+					if got, _, _ := b.Snapshot(); got.String() != s.want {
+						t.Fatalf("step %d (%s): state = %v, want %s", i, s.op, got, s.want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerRateTrip: the windowed failure rate trips a replica that
+// never fails often enough in a row for the consecutive trip — the
+// gray-failure signal.
+func TestBreakerRateTrip(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{
+		ConsecutiveFailures: -1, // isolate the rate trip
+		Window:              10,
+		FailureRate:         0.5,
+		MinSamples:          10,
+		Jitter:              -1,
+	})
+	// Alternate ok/fail: 50% rate, but never 2 failures in a row.
+	for i := 0; i < 9; i++ {
+		if i%2 == 0 {
+			b.OnFailure()
+		} else {
+			b.OnSuccess()
+		}
+		wantState(t, b, BreakerClosed) // under MinSamples
+	}
+	b.OnFailure() // 10th sample: rate 5/10 with MinSamples met
+	wantState(t, b, BreakerOpen)
+}
+
+// TestBreakerRateNeedsMinSamples: a lone failure after idle is a 100%
+// "rate" but must not trip.
+func TestBreakerRateNeedsMinSamples(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{ConsecutiveFailures: -1, MinSamples: 10, Jitter: -1})
+	for i := 0; i < 9; i++ {
+		b.OnFailure()
+		// Rate is 100% throughout but the sample floor holds it
+		// closed (consecutive trip disabled).
+		wantState(t, b, BreakerClosed)
+	}
+}
+
+// TestBreakerQuarantineIsTerminal: ForceOpen wins over every recovery
+// path — probes, successes, time.
+func TestBreakerQuarantineIsTerminal(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Jitter: -1})
+	b.ForceOpen("mutation diverged")
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("quarantined replica granted traffic")
+	}
+	b.OnSuccess()
+	clk.advance(time.Hour)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("quarantined replica recovered via time+success")
+	}
+	_, quarantined, _ := b.Snapshot()
+	if !quarantined {
+		t.Fatal("quarantine flag lost")
+	}
+}
+
+// TestBreakerJitterSpreadsDwells: with jitter on, two breakers
+// sharing a clock but drawing different RNG values re-enter at
+// different times.
+func TestBreakerJitterSpreadsDwells(t *testing.T) {
+	clk := newFakeClock()
+	lo := newBreaker(BreakerConfig{ConsecutiveFailures: 1, Backoff: time.Second, Jitter: 1.0}, clk.now, func() uint64 { return 0 })
+	hi := newBreaker(BreakerConfig{ConsecutiveFailures: 1, Backoff: time.Second, Jitter: 1.0}, clk.now, func() uint64 { return ^uint64(0) })
+	lo.OnFailure()
+	hi.OnFailure()
+	// Jitter 1.0 spreads dwells over [0.5s, 1.5s): the low draw is
+	// ready at 0.5s, the high draw is not.
+	clk.advance(600 * time.Millisecond)
+	if ok, _ := lo.Allow(); !ok {
+		t.Fatal("low-jitter dwell not elapsed at 0.6s")
+	}
+	if ok, _ := hi.Allow(); ok {
+		t.Fatal("high-jitter dwell elapsed at 0.6s — no spread")
+	}
+	clk.advance(900 * time.Millisecond)
+	if ok, _ := hi.Allow(); !ok {
+		t.Fatal("high-jitter dwell not elapsed at 1.5s")
+	}
+}
+
+// TestBreakerConcurrentTripReset hammers every transition from many
+// goroutines under -race: the assertion is the race detector plus a
+// sane final state.
+func TestBreakerConcurrentTripReset(t *testing.T) {
+	clk := newFakeClock()
+	var rndState uint64
+	var rndMu sync.Mutex
+	rnd := func() uint64 {
+		rndMu.Lock()
+		defer rndMu.Unlock()
+		rndState += 0x9E3779B97F4A7C15
+		return rndState
+	}
+	b := newBreaker(BreakerConfig{ConsecutiveFailures: 3, Backoff: time.Microsecond}, clk.now, rnd)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if ok, _ := b.Allow(); ok {
+					if (g+i)%3 == 0 {
+						b.OnFailure()
+					} else {
+						b.OnSuccess()
+					}
+				}
+				if i%50 == 0 {
+					clk.advance(time.Millisecond)
+				}
+				b.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	state, quarantined, rate := b.Snapshot()
+	if quarantined {
+		t.Fatal("nothing quarantined this breaker")
+	}
+	if state != BreakerClosed && state != BreakerOpen && state != BreakerHalfOpen {
+		t.Fatalf("impossible state %v", state)
+	}
+	if rate < 0 || rate > 1 {
+		t.Fatalf("impossible failure rate %v", rate)
+	}
+}

@@ -1,0 +1,492 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"d3l"
+	"d3l/internal/faultproxy"
+	"d3l/internal/server"
+)
+
+// The fault matrix: a coordinator over replica groups must keep its
+// answers byte-identical to the monolith through every transient
+// failure mode a replica can produce — 5xx bursts, connection resets,
+// truncated bodies, blackholes, kills, flaps, tail latency — as long
+// as at least one replica per shard survives. Every scenario here
+// runs the same assertion: remote answers == monolith answers, zero
+// client-visible errors. The faults are injected by seed-determinis-
+// tic faultproxies sitting between the coordinator and each replica.
+
+// faultWorld is the chaos topology: shards × replicas, every replica
+// an independent engine (so mutations genuinely fan out) behind its
+// own fault proxy.
+type faultWorld struct {
+	lake    *d3l.Lake
+	mono    *d3l.Engine
+	proxies [][]*faultproxy.Proxy // [shard][replica]
+	fronts  [][]*httptest.Server  // [shard][replica] proxy listeners
+	remote  *Remote
+}
+
+func buildFaultWorld(t *testing.T, seed uint64, shards, replicas int, cfg RemoteConfig) *faultWorld {
+	t.Helper()
+	lake := testLake(t, seed, 10)
+	w := &faultWorld{
+		lake:    lake,
+		mono:    buildMono(t, lake),
+		proxies: make([][]*faultproxy.Proxy, shards),
+		fronts:  make([][]*httptest.Server, shards),
+	}
+	urls := make([]string, shards)
+	for ri := 0; ri < replicas; ri++ {
+		// Each replica column is an independently built (but
+		// deterministic, hence identical) engine set: replica engines
+		// share nothing, exactly like separate `d3l serve` processes.
+		set, err := BuildSet(lake, shards, d3l.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < shards; si++ {
+			rs, err := server.New(set.Shard(si), server.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend := httptest.NewServer(rs)
+			t.Cleanup(backend.Close)
+			proxy, err := faultproxy.New(backend.URL, seed+uint64(si*replicas+ri))
+			if err != nil {
+				t.Fatal(err)
+			}
+			front := httptest.NewServer(proxy)
+			t.Cleanup(front.Close)
+			w.proxies[si] = append(w.proxies[si], proxy)
+			w.fronts[si] = append(w.fronts[si], front)
+			if urls[si] == "" {
+				urls[si] = front.URL
+			} else {
+				urls[si] += "," + front.URL
+			}
+		}
+	}
+	remote, err := NewRemote(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	w.remote = remote
+	return w
+}
+
+// faultCfg is the matrix's aggressive-but-deterministic tuning: fast
+// retries, fast breakers, no background prober unless a scenario
+// turns it on.
+func faultCfg() RemoteConfig {
+	return RemoteConfig{
+		ShardTimeout:  2 * time.Second,
+		Retries:       2,
+		RetryDelay:    2 * time.Millisecond,
+		ProbeInterval: -1,
+		Breaker:       BreakerConfig{Backoff: 20 * time.Millisecond},
+		Seed:          7,
+	}
+}
+
+// assertExact runs a query spread against both engines and requires
+// identical answers with no error — the matrix's core assertion.
+func assertExact(t *testing.T, w *faultWorld, label string) {
+	t.Helper()
+	ctx := context.Background()
+	for _, target := range liveTargets(w.lake, 5) {
+		want, err := w.mono.Query(ctx, target, d3l.WithK(6))
+		if err != nil {
+			t.Fatalf("%s: monolith: %v", label, err)
+		}
+		got, err := w.remote.Query(ctx, target, d3l.WithK(6))
+		if err != nil {
+			t.Fatalf("%s: remote %s: %v", label, target.Name, err)
+		}
+		assertAnswersEqual(t, label+" "+target.Name, want, got)
+	}
+}
+
+// primaryState reads one replica's breaker state from the health
+// report.
+func replicaState(w *faultWorld, shard, replica int) string {
+	h := w.remote.ReplicaHealth()
+	url := w.fronts[shard][replica].URL
+	for _, rs := range h.Replicas {
+		if rs.Shard == shard && rs.URL == url {
+			return rs.State
+		}
+	}
+	return "missing"
+}
+
+// TestFaultMatrixTransientFaults: 5xx bursts, connection resets and
+// truncated bodies on the preferred replica of every shard — failover
+// to the sibling keeps every answer exact with zero client-visible
+// errors.
+func TestFaultMatrixTransientFaults(t *testing.T) {
+	kinds := []struct {
+		name  string
+		rules faultproxy.Rules
+	}{
+		{"5xx-burst", faultproxy.Rules{ErrorProb: 1}},
+		{"connection-reset", faultproxy.Rules{ResetProb: 1}},
+		{"truncated-body", faultproxy.Rules{TruncateProb: 1}},
+	}
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			w := buildFaultWorld(t, 1307, 2, 2, faultCfg())
+			before := w.remote.ReplicaHealth().Failovers
+			// Replica 0 is the pick order's preference while all
+			// breakers are closed, so faulting it forces real
+			// failovers rather than idle fault rules.
+			for si := range w.proxies {
+				w.proxies[si][0].SetRules(kind.rules)
+			}
+			assertExact(t, w, kind.name)
+			if after := w.remote.ReplicaHealth().Failovers; after <= before {
+				t.Fatalf("%s: no failovers recorded (%d -> %d) — the faults were never hit", kind.name, before, after)
+			}
+			for si := range w.proxies {
+				w.proxies[si][0].SetRules(faultproxy.Rules{})
+			}
+			assertExact(t, w, kind.name+"-recovered")
+		})
+	}
+}
+
+// TestFaultMatrixKillMidStream kills one replica per shard (listener
+// down, connection refused) partway through a query stream: answers
+// before, during and after the kill stay exact, and the killed
+// replicas' breakers trip open. The trip comes from the prober, not
+// traffic: after the first failed query the picker deprioritizes the
+// dead replica, so only active probes of closed-but-suspect replicas
+// can accumulate the remaining failures.
+func TestFaultMatrixKillMidStream(t *testing.T) {
+	cfg := faultCfg()
+	cfg.ProbeInterval = 10 * time.Millisecond
+	cfg.Breaker = BreakerConfig{ConsecutiveFailures: 3, Backoff: 10 * time.Millisecond}
+	w := buildFaultWorld(t, 223, 2, 2, cfg)
+	assertExact(t, w, "pre-kill")
+	for si := range w.fronts {
+		w.fronts[si][0].Close()
+	}
+	// The stream continues across the kill; retries absorb the
+	// connection-refused burst.
+	for i := 0; i < 6; i++ {
+		assertExact(t, w, "post-kill")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		open := 0
+		for si := range w.fronts {
+			if replicaState(w, si, 0) != server.ReplicaStateClosed {
+				open++
+			}
+		}
+		if open == len(w.fronts) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for si := range w.fronts {
+		if st := replicaState(w, si, 0); st == server.ReplicaStateClosed {
+			t.Fatalf("shard %d: killed replica still closed after sustained failures", si)
+		}
+	}
+	if h := w.remote.ReplicaHealth(); h.Failovers == 0 {
+		t.Fatal("kill produced no failovers")
+	}
+	assertExact(t, w, "post-trip")
+}
+
+// TestFaultMatrixFlap flaps the preferred replica (hard-fail / heal /
+// hard-fail ...) and requires exactness through every phase — the
+// breaker must both trip fast and re-admit fast (20ms backoff).
+func TestFaultMatrixFlap(t *testing.T) {
+	w := buildFaultWorld(t, 31, 2, 2, faultCfg())
+	for round := 0; round < 6; round++ {
+		var rules faultproxy.Rules
+		if round%2 == 0 {
+			rules = faultproxy.Rules{ErrorProb: 1}
+		}
+		for si := range w.proxies {
+			w.proxies[si][0].SetRules(rules)
+		}
+		if round%2 == 1 {
+			// Give the 20ms breaker backoff room to elapse so healed
+			// rounds can genuinely re-admit the replica.
+			time.Sleep(30 * time.Millisecond)
+		}
+		assertExact(t, w, "flap-round")
+	}
+}
+
+// TestFaultMatrixSlowReplicaHedge slows the preferred replica past
+// the hedge threshold: the duplicate launched on the *sibling* wins,
+// answers stay exact, and the hedge-win counter proves the crossing
+// actually happened (the old same-URL hedge could never win here —
+// both attempts would sit behind the same 400ms latency).
+func TestFaultMatrixSlowReplicaHedge(t *testing.T) {
+	cfg := faultCfg()
+	cfg.HedgeAfter = 25 * time.Millisecond
+	cfg.ShardTimeout = 5 * time.Second
+	w := buildFaultWorld(t, 47, 2, 2, cfg)
+	for si := range w.proxies {
+		w.proxies[si][0].SetRules(faultproxy.Rules{Latency: 400 * time.Millisecond, LatencyProb: 1})
+	}
+	assertExact(t, w, "slow-primary")
+	if h := w.remote.ReplicaHealth(); h.HedgeWins == 0 {
+		t.Fatal("slow primary produced no hedge wins — hedges are not crossing replicas")
+	}
+}
+
+// TestFaultMatrixBlackhole: the preferred replica accepts and never
+// answers; the per-attempt timeout (shortened here) fires, the
+// sibling answers, exactness holds.
+func TestFaultMatrixBlackhole(t *testing.T) {
+	cfg := faultCfg()
+	cfg.ShardTimeout = 150 * time.Millisecond
+	w := buildFaultWorld(t, 59, 2, 2, cfg)
+	for si := range w.proxies {
+		w.proxies[si][0].SetRules(faultproxy.Rules{BlackholeProb: 1})
+	}
+	assertExact(t, w, "blackhole")
+}
+
+// TestFaultMatrixAllReplicasDead: with every replica of a shard gone
+// the group is dead — the query fails closed by default, degrades
+// per-shard-group under WithPartialResults, and still fails once
+// every group is dead.
+func TestFaultMatrixAllReplicasDead(t *testing.T) {
+	w := buildFaultWorld(t, 101, 2, 2, faultCfg())
+	ctx := context.Background()
+	target := liveTargets(w.lake, 7)[0]
+	for _, front := range w.fronts[0] {
+		front.Close()
+	}
+	if _, err := w.remote.Query(ctx, target, d3l.WithK(5)); err == nil {
+		t.Fatal("dead shard group answered fail-closed query")
+	}
+	ans, err := w.remote.Query(ctx, target, d3l.WithK(5), d3l.WithPartialResults())
+	if err != nil {
+		t.Fatalf("partial query over dead group: %v", err)
+	}
+	if !ans.Degraded {
+		t.Fatal("partial answer over a dead shard group not marked Degraded")
+	}
+	// The fail-closed queries above hammered shard 0; once its
+	// breakers are open the group is dead for the partial policy —
+	// but shard 1's replicas must be untouched (the policy is
+	// per-group, not per-URL).
+	h := w.remote.ReplicaHealth()
+	for _, rs := range h.Replicas {
+		if rs.Shard == 1 && rs.State != server.ReplicaStateClosed {
+			t.Fatalf("healthy shard 1 replica %s tripped to %s", rs.URL, rs.State)
+		}
+	}
+	for _, front := range w.fronts[1] {
+		front.Close()
+	}
+	if _, err := w.remote.Query(ctx, target, d3l.WithK(5), d3l.WithPartialResults()); err == nil {
+		t.Fatal("all groups dead still answered under partial")
+	}
+}
+
+// TestFaultMatrixProbeRecovery: a tripped replica re-enters through
+// the active health prober (not traffic): trip it, heal it, and watch
+// the breaker walk open → closed while probe failures accumulate
+// during the sick window.
+func TestFaultMatrixProbeRecovery(t *testing.T) {
+	cfg := faultCfg()
+	cfg.ProbeInterval = 10 * time.Millisecond
+	cfg.Breaker = BreakerConfig{ConsecutiveFailures: 2, Backoff: 10 * time.Millisecond}
+	w := buildFaultWorld(t, 73, 2, 2, cfg)
+	for si := range w.proxies {
+		w.proxies[si][0].SetRules(faultproxy.Rules{ErrorProb: 1})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for replicaState(w, 0, 0) == server.ReplicaStateClosed && time.Now().Before(deadline) {
+		assertExact(t, w, "tripping")
+	}
+	if st := replicaState(w, 0, 0); st == server.ReplicaStateClosed {
+		t.Fatal("sustained errors never tripped the breaker")
+	}
+	// Leave the fault armed long enough for the prober to fail at
+	// least one active probe against the open replica.
+	for w.remote.ReplicaHealth().ProbeFailures == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w.remote.ReplicaHealth().ProbeFailures == 0 {
+		t.Fatal("open replica was never actively probed")
+	}
+	for si := range w.proxies {
+		w.proxies[si][0].SetRules(faultproxy.Rules{})
+	}
+	for replicaState(w, 0, 0) != server.ReplicaStateClosed && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := replicaState(w, 0, 0); st != server.ReplicaStateClosed {
+		t.Fatalf("healed replica never re-admitted (state %s)", st)
+	}
+	assertExact(t, w, "probe-recovered")
+}
+
+// TestFaultMatrixMutationQuarantine: a mutation that fails on one
+// replica of a group lands exactly once on the survivors, the failed
+// replica is quarantined (it can never serve the stale lake), and
+// reads stay exact throughout.
+func TestFaultMatrixMutationQuarantine(t *testing.T) {
+	w := buildFaultWorld(t, 211, 2, 2, faultCfg())
+	added := cloneTable(t, w.lake.Table(2), "quarantine_add")
+	owner := w.remote.place.Owner(added.Name)
+	w.fronts[owner][0].Close()
+
+	wantID, err := w.mono.Add(cloneTable(t, w.lake.Table(2), "quarantine_add"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := w.remote.Add(added)
+	if err != nil {
+		t.Fatalf("add with one dead owner replica: %v", err)
+	}
+	if gotID != wantID {
+		t.Fatalf("add id diverged: mono %d remote %d", wantID, gotID)
+	}
+	if st := replicaState(w, owner, 0); st != server.ReplicaStateQuarantined {
+		t.Fatalf("replica that missed the mutation is %s, want quarantined", st)
+	}
+	// The quarantined replica must stay out even though its listener
+	// is gone for good reasons — and a non-owner group's replica
+	// failing a *mirror* quarantines the same way.
+	other := 1 - owner
+	w.fronts[other][1].Close()
+	added2 := cloneTable(t, w.lake.Table(3), "quarantine_add_b")
+	name2 := added2.Name
+	if w.remote.place.Owner(name2) != owner {
+		// Ensure the second mutation's owner is the same group so the
+		// closed replica in `other` takes a mirror, not the real op.
+		// (Placement is name-hashed; this lake's names make both
+		// cases reachable — tolerate either by just requiring
+		// success and quarantine.)
+		_ = name2
+	}
+	wantStats, err := w.mono.Update(subTable(t, w.lake.Table(1), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := w.remote.Update(subTable(t, w.lake.Table(1), 6))
+	if err != nil {
+		t.Fatalf("update with dead replicas: %v", err)
+	}
+	if wantStats != gotStats {
+		t.Fatalf("update stats diverged: mono %+v remote %+v", wantStats, gotStats)
+	}
+	if st := replicaState(w, other, 1); st != server.ReplicaStateQuarantined {
+		t.Fatalf("replica that missed the mirror is %s, want quarantined", st)
+	}
+	if _, err := w.mono.Add(cloneTable(t, w.lake.Table(3), "quarantine_add_b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.remote.Add(added2); err != nil {
+		t.Fatalf("second add: %v", err)
+	}
+	assertExact(t, w, "post-quarantine")
+	// Exactly-once: the surviving replicas hold each mutation once —
+	// a double-applied add would shift ids and break the next
+	// lockstep check, and a double-applied update would skew stats;
+	// both were asserted equal above. The quarantined replicas stay
+	// quarantined even as traffic flows.
+	if st := replicaState(w, owner, 0); st != server.ReplicaStateQuarantined {
+		t.Fatalf("quarantine lifted by traffic: %s", st)
+	}
+}
+
+// TestCoordinatorReadyz drives GET /v1/readyz through the full
+// serving stack: 200 while every group has a closed replica, 503 with
+// the degraded groups listed once a whole group is gone, and
+// /v1/healthz stays liveness-only (200) throughout.
+func TestCoordinatorReadyz(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Breaker = BreakerConfig{ConsecutiveFailures: 2, Backoff: time.Minute}
+	cfg.Retries = 1
+	w := buildFaultWorld(t, 89, 2, 2, cfg)
+	srv, err := server.New(w.remote, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(srv)
+	t.Cleanup(coord.Close)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := coord.Client().Get(coord.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if status, body := get("/v1/readyz"); status != 200 || !strings.Contains(body, `"ready"`) {
+		t.Fatalf("healthy coordinator readyz = %d %s", status, body)
+	}
+	// Kill shard 0's whole group and trip both breakers with direct
+	// queries (readyz itself must never send traffic to replicas).
+	for _, front := range w.fronts[0] {
+		front.Close()
+	}
+	ctx := context.Background()
+	target := liveTargets(w.lake, 7)[0]
+	for i := 0; i < 4; i++ {
+		w.remote.Query(ctx, target, d3l.WithK(3))
+	}
+	status, body := get("/v1/readyz")
+	if status != 503 {
+		t.Fatalf("degraded coordinator readyz = %d %s", status, body)
+	}
+	if !strings.Contains(body, `"degraded"`) || !strings.Contains(body, `"shard":0`) || strings.Contains(body, `"shard":1`) {
+		t.Fatalf("readyz body does not list exactly the dead group: %s", body)
+	}
+	if status, body := get("/v1/healthz"); status != 200 {
+		t.Fatalf("healthz lost liveness while degraded: %d %s", status, body)
+	}
+}
+
+// TestRemoteMultiReplicaClean: replica groups with no faults at all
+// still answer exactly and spread construction across every replica
+// (the plain-path regression check for the group plumbing).
+func TestRemoteMultiReplicaClean(t *testing.T) {
+	w := buildFaultWorld(t, 5, 3, 2, faultCfg())
+	if got := w.remote.NumShards(); got != 3 {
+		t.Fatalf("NumShards = %d, want 3", got)
+	}
+	if got := w.remote.NumReplicas(); got != 6 {
+		t.Fatalf("NumReplicas = %d, want 6", got)
+	}
+	assertExact(t, w, "clean")
+	h := w.remote.ReplicaHealth()
+	if len(h.Replicas) != 6 {
+		t.Fatalf("health reports %d replicas, want 6", len(h.Replicas))
+	}
+	for _, rs := range h.Replicas {
+		if rs.State != server.ReplicaStateClosed {
+			t.Fatalf("clean-world replica %s in state %s", rs.URL, rs.State)
+		}
+	}
+}

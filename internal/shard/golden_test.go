@@ -10,9 +10,11 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"d3l"
 	"d3l/internal/datagen"
+	"d3l/internal/faultproxy"
 	"d3l/internal/server"
 )
 
@@ -135,6 +137,65 @@ func serveCoordinator(t *testing.T, lake *d3l.Lake, n int) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { remote.Close() })
+	cs, err := server.New(remote, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(cs)
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+// serveReplicatedCoordinator is serveCoordinator with two replicas
+// per shard, each behind a faultproxy; the preferred replica of every
+// shard answers nothing but injected 503s, so every golden byte the
+// coordinator returns had to travel through a failover.
+func serveReplicatedCoordinator(t *testing.T, lake *d3l.Lake, n int) *httptest.Server {
+	t.Helper()
+	urls := make([]string, n)
+	var preferred []*faultproxy.Proxy
+	for ri := 0; ri < 2; ri++ {
+		set, err := BuildSet(lake, n, d3l.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < n; si++ {
+			rs, err := server.New(set.Shard(si), server.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend := httptest.NewServer(rs)
+			t.Cleanup(backend.Close)
+			proxy, err := faultproxy.New(backend.URL, 1307)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri == 0 {
+				preferred = append(preferred, proxy)
+			}
+			front := httptest.NewServer(proxy)
+			t.Cleanup(front.Close)
+			if urls[si] == "" {
+				urls[si] = front.URL
+			} else {
+				urls[si] += "," + front.URL
+			}
+		}
+	}
+	remote, err := NewRemote(urls, RemoteConfig{
+		Retries:    2,
+		RetryDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Armed only after construction: the startup health poll must see
+	// healthy replicas so these faults hit live traffic, not probes.
+	for _, proxy := range preferred {
+		proxy.SetRules(faultproxy.Rules{ErrorProb: 1})
+	}
+	t.Cleanup(func() { remote.Close() })
 	cs, err := server.New(remote, server.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +264,20 @@ func TestGoldenCoordinator(t *testing.T) {
 	for _, n := range []int{2, 3} {
 		t.Run("shards="+itoa(n), func(t *testing.T) {
 			coord := serveCoordinator(t, w.lake, n)
+			goldenEndpoints(t, coord.URL, w)
+		})
+	}
+}
+
+// TestGoldenReplicatedCoordinator is the replica-group acceptance
+// criterion: with two replicas per shard and the preferred replica of
+// every shard hard-failing, the coordinator's answers stay
+// byte-identical to the committed monolith fixtures.
+func TestGoldenReplicatedCoordinator(t *testing.T) {
+	w := shardGolden(t)
+	for _, n := range []int{2, 3} {
+		t.Run("shards="+itoa(n), func(t *testing.T) {
+			coord := serveReplicatedCoordinator(t, w.lake, n)
 			goldenEndpoints(t, coord.URL, w)
 		})
 	}

@@ -28,14 +28,35 @@ type RemoteConfig struct {
 	ShardTimeout time.Duration
 	// Retries is how many extra attempts a failed read-path call gets
 	// (probe, gather, explain — mutations never retry: they are not
-	// idempotent across the mirror fan-out). Negative means 0.
+	// idempotent across the mirror fan-out). Each retry prefers a
+	// different replica of the same shard. Negative means 0.
 	// 0 selects 1.
 	Retries int
+	// RetryDelay is the base pause before a retry, doubled per
+	// attempt and jittered ±25% so synchronized failures do not
+	// produce a synchronized retry storm against a recovering
+	// replica. A retry whose delay would outlive the request
+	// deadline is not attempted: the retry budget is capped by the
+	// deadline. 0 selects 50ms; negative disables the pause.
+	RetryDelay time.Duration
 	// HedgeAfter, when positive, launches a duplicate attempt against
-	// the same replica if the first has not answered within this
-	// duration — the classic tail-latency hedge. The first answer
+	// a *different* replica of the same shard if the first has not
+	// answered within this duration — the classic tail-latency hedge,
+	// made useful by replica groups (a same-URL hedge only doubles
+	// load on the replica that is already slow). The first answer
 	// wins. 0 disables hedging.
 	HedgeAfter time.Duration
+	// ProbeInterval is the cadence of the active health prober that
+	// re-checks open-breaker replicas via GET /v1/healthz (subject to
+	// each breaker's jittered backoff). 0 selects 1s; negative
+	// disables active probing (recovery then rides on live-traffic
+	// half-open trials only).
+	ProbeInterval time.Duration
+	// Breaker tunes the per-replica circuit breakers.
+	Breaker BreakerConfig
+	// Seed seeds the jitter RNG so fault-injection tests are
+	// deterministic. 0 selects 1.
+	Seed uint64
 	// Client overrides the HTTP client (tests inject httptest
 	// transports). nil builds a pooled default.
 	Client *http.Client
@@ -51,6 +72,18 @@ func (c RemoteConfig) withDefaults() RemoteConfig {
 	if c.Retries < 0 {
 		c.Retries = 0
 	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 50 * time.Millisecond
+	}
+	if c.RetryDelay < 0 {
+		c.RetryDelay = 0
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{
 			Transport: &http.Transport{
@@ -62,6 +95,17 @@ func (c RemoteConfig) withDefaults() RemoteConfig {
 	return c
 }
 
+// maxRetryDelay caps the exponential retry backoff inside one request.
+const maxRetryDelay = 2 * time.Second
+
+// replica is one URL of one shard's replica group, with its circuit
+// breaker.
+type replica struct {
+	shard int
+	url   string
+	br    *breaker
+}
+
 // Remote is the thin-coordinator backend: it implements the
 // server.Engine surface by fanning the scatter-gather protocol out
 // over HTTP to remote shard replicas (each a plain `d3l serve`
@@ -69,14 +113,20 @@ func (c RemoteConfig) withDefaults() RemoteConfig {
 // result cache, admission gate and single-flight coalescing — the
 // coordinator itself holds no index data.
 //
-// Failure policy: fail-closed by default — any shard failure (after
-// retries/hedging) fails the query, because a silent subset answer
-// would break the byte-identity contract. A query carrying
-// d3l.WithPartialResults (the HTTP layer's ?partial=true) instead
-// drops unreachable shards and marks the answer Degraded; degraded
-// answers carry no exactness guarantee.
+// Each shard is a replica group: reads pick the healthiest
+// closed-breaker replica, fail over to siblings on transient errors
+// and hedge across siblings; a replica that keeps failing trips its
+// breaker open and is re-admitted via jittered-backoff health probes.
+// A shard is dead only when every replica of its group is open.
+//
+// Failure policy: fail-closed by default — a shard group with no
+// answering replica (after retries/hedging) fails the query, because
+// a silent subset answer would break the byte-identity contract. A
+// query carrying d3l.WithPartialResults (the HTTP layer's
+// ?partial=true) instead drops dead shard *groups* and marks the
+// answer Degraded; degraded answers carry no exactness guarantee.
 type Remote struct {
-	urls   []string
+	groups [][]*replica
 	place  *Placement
 	cfg    RemoteConfig
 	baseFP uint64
@@ -84,15 +134,29 @@ type Remote struct {
 	// Fingerprint so the serving cache invalidates on every mutation
 	// routed through this coordinator. Out-of-band replica changes
 	// are surfaced by POST /v1/reload, whose LoadFunc re-polls the
-	// replicas into a fresh Remote (fresh baseFP).
+	// replicas into a fresh Remote (fresh baseFP, fresh breakers).
 	muts atomic.Uint64
+
+	rngState      atomic.Uint64
+	failovers     atomic.Uint64
+	probeFailures atomic.Uint64
+	hedgeWins     atomic.Uint64
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // NewRemote builds a coordinator backend over the given replica base
-// URLs (one per shard ordinal, matching the manifest the replicas
-// were built from). Construction is fail-closed: every replica must
-// answer /v1/healthz, and the fingerprints seed the coordinator's
-// cache identity.
+// URLs: one argument per shard ordinal (matching the manifest the
+// replicas were built from), each a comma-separated replica group
+// ("http://a:8080,http://b:8080"). Construction is fail-closed per
+// group: at least one replica of every shard must answer /v1/healthz,
+// and every answering replica of a shard must agree on the engine
+// fingerprint (replicas serving divergent snapshots are a deployment
+// error, not a runtime failure). Unreachable replicas start with
+// their breaker open and are re-admitted by the active prober once
+// they answer health checks.
 func NewRemote(urls []string, cfg RemoteConfig) (*Remote, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least 1 shard URL")
@@ -102,44 +166,274 @@ func NewRemote(urls []string, cfg RemoteConfig) (*Remote, error) {
 		return nil, err
 	}
 	r := &Remote{
-		urls:  make([]string, len(urls)),
-		place: place,
-		cfg:   cfg.withDefaults(),
+		groups:    make([][]*replica, len(urls)),
+		place:     place,
+		cfg:       cfg.withDefaults(),
+		stopProbe: make(chan struct{}),
 	}
-	for i, u := range urls {
-		r.urls[i] = strings.TrimRight(u, "/")
+	r.rngState.Store(r.cfg.Seed)
+	rnd := r.rnd
+	now := time.Now
+	for i, spec := range urls {
+		var group []*replica
+		for _, u := range strings.Split(spec, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			group = append(group, &replica{shard: i, url: u, br: newBreaker(r.cfg.Breaker, now, rnd)})
+		}
+		if len(group) == 0 {
+			return nil, fmt.Errorf("shard %d: no replica URL in %q", i, spec)
+		}
+		r.groups[i] = group
 	}
 	const prime = 1099511628211
 	fp := uint64(14695981039346656037)
-	fp = (fp ^ uint64(len(urls))) * prime
-	for i := range r.urls {
-		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
-		var h server.HealthResponse
-		err := r.getJSON(ctx, i, "/v1/healthz", &h)
-		cancel()
-		if err != nil {
-			return nil, fmt.Errorf("shard %d (%s): health check: %w", i, r.urls[i], err)
+	fp = (fp ^ uint64(len(r.groups))) * prime
+	for i, group := range r.groups {
+		shardFP, seen := uint64(0), false
+		for _, rep := range group {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+			var h server.HealthResponse
+			err := r.getReplica(ctx, rep, "/v1/healthz", &h)
+			cancel()
+			if err != nil {
+				// Down at startup: admit the group without it; the
+				// breaker opens so the prober owns its re-entry.
+				rep.br.Trip()
+				continue
+			}
+			sfp, err := strconv.ParseUint(h.EngineFingerprint, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d (%s): bad fingerprint %q", i, rep.url, h.EngineFingerprint)
+			}
+			if seen && sfp != shardFP {
+				return nil, fmt.Errorf("shard %d: replica %s serves fingerprint %016x, its group serves %016x (divergent snapshots)",
+					i, rep.url, sfp, shardFP)
+			}
+			shardFP, seen = sfp, true
 		}
-		sfp, err := strconv.ParseUint(h.EngineFingerprint, 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d (%s): bad fingerprint %q", i, r.urls[i], h.EngineFingerprint)
+		if !seen {
+			return nil, fmt.Errorf("shard %d (%s): health check: no replica reachable", i, r.groupLabel(i))
 		}
-		fp = (fp ^ sfp) * prime
+		fp = (fp ^ shardFP) * prime
 	}
 	r.baseFP = fp
+	if r.cfg.ProbeInterval > 0 {
+		r.probeWG.Add(1)
+		go r.probeLoop()
+	}
 	return r, nil
 }
 
-// NumShards reports the replica count.
-func (r *Remote) NumShards() int { return len(r.urls) }
+// Close stops the active health prober. It is safe to call while
+// requests are in flight — they finish normally — and safe to call
+// more than once. The serving layer closes a Remote when a reload
+// swaps it out.
+func (r *Remote) Close() error {
+	r.closeOnce.Do(func() { close(r.stopProbe) })
+	r.probeWG.Wait()
+	return nil
+}
 
-// URLs exposes the replica base URLs (CLI diagnostics).
-func (r *Remote) URLs() []string { return append([]string(nil), r.urls...) }
+// NumShards reports the shard-group count.
+func (r *Remote) NumShards() int { return len(r.groups) }
+
+// NumReplicas reports the total replica count across all groups.
+func (r *Remote) NumReplicas() int {
+	n := 0
+	for _, g := range r.groups {
+		n += len(g)
+	}
+	return n
+}
+
+// URLs exposes the replica base URLs, one comma-joined entry per
+// shard group (CLI diagnostics).
+func (r *Remote) URLs() []string {
+	out := make([]string, len(r.groups))
+	for i := range r.groups {
+		out[i] = r.groupLabel(i)
+	}
+	return out
+}
+
+func (r *Remote) groupLabel(i int) string {
+	urls := make([]string, len(r.groups[i]))
+	for j, rep := range r.groups[i] {
+		urls[j] = rep.url
+	}
+	return strings.Join(urls, ",")
+}
+
+// ReplicaHealth implements server.ReplicaHealthReporter: the readiness
+// endpoint and the d3l_replica_* metric families render from it.
+func (r *Remote) ReplicaHealth() server.ReplicaHealth {
+	h := server.ReplicaHealth{
+		Shards:        len(r.groups),
+		Failovers:     r.failovers.Load(),
+		ProbeFailures: r.probeFailures.Load(),
+		HedgeWins:     r.hedgeWins.Load(),
+	}
+	for _, group := range r.groups {
+		for _, rep := range group {
+			state, quarantined, _ := rep.br.Snapshot()
+			s := state.String()
+			if quarantined {
+				s = server.ReplicaStateQuarantined
+			}
+			h.Replicas = append(h.Replicas, server.ReplicaStatus{
+				Shard: rep.shard, URL: rep.url, State: s,
+			})
+		}
+	}
+	return h
+}
+
+// rnd is a splitmix64 stream shared by every jitter draw. The
+// atomic step keeps it lock-free; values are deterministic as a set
+// for a given seed even though concurrent draw order is not.
+func (r *Remote) rnd() uint64 {
+	x := r.rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ---- replica selection ----
+
+// errGroupDown marks a shard whose whole replica group is unavailable
+// (every breaker open or quarantined). It is the only condition under
+// which the partial-results policy may drop a shard.
+var errGroupDown = errors.New("shard: all replicas unavailable")
+
+// pick returns the healthiest available replica of a shard group:
+// closed breakers first (lowest windowed failure rate wins), then the
+// first open/half-open replica whose breaker grants a trial slot.
+// probe reports a granted trial, whose outcome the caller must report
+// back to the breaker. exclude skips one replica (hedging: the
+// duplicate must go elsewhere).
+func (r *Remote) pick(shard int, exclude *replica) (rep *replica, probe bool, err error) {
+	group := r.groups[shard]
+	type cand struct {
+		rep  *replica
+		rate float64
+	}
+	var closed []cand
+	var rest []*replica
+	for _, rep := range group {
+		if rep == exclude {
+			continue
+		}
+		state, quarantined, rate := rep.br.Snapshot()
+		if quarantined {
+			continue
+		}
+		if state == BreakerClosed {
+			closed = append(closed, cand{rep, rate})
+		} else {
+			rest = append(rest, rep)
+		}
+	}
+	sort.SliceStable(closed, func(a, b int) bool { return closed[a].rate < closed[b].rate })
+	if len(closed) > 0 {
+		return closed[0].rep, false, nil
+	}
+	for _, rep := range rest {
+		if ok, trial := rep.br.Allow(); ok {
+			return rep, trial, nil
+		}
+	}
+	return nil, false, fmt.Errorf("%w: shard %d (%s)", errGroupDown, shard, r.groupLabel(shard))
+}
+
+// record reports one attempt outcome to a replica's breaker. A
+// terminal (4xx) answer counts as a success — the replica is alive
+// and answering; the request was at fault. An attempt abandoned
+// because the *parent* request was cancelled counts as neither: the
+// replica was never given a fair chance to answer.
+func (r *Remote) record(ctx context.Context, rep *replica, err error) {
+	if err == nil {
+		rep.br.OnSuccess()
+		return
+	}
+	var se *shardError
+	if errors.As(err, &se) && se.terminal {
+		rep.br.OnSuccess()
+		return
+	}
+	if ctx.Err() != nil {
+		rep.br.Release()
+		return
+	}
+	rep.br.OnFailure()
+}
+
+// ---- active health probing ----
+
+func (r *Remote) probeLoop() {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopProbe:
+			return
+		case <-t.C:
+			r.probeOnce()
+		}
+	}
+}
+
+// probeOnce re-checks every non-closed, non-quarantined replica whose
+// breaker backoff has elapsed, plus every *closed* replica carrying a
+// nonzero failure rate: passive picking deprioritizes a replica after
+// its first failure, so without active probes a suspect replica's
+// window would never refresh — it could neither trip (if still dead)
+// nor regain rank (if healed). A probe success closes the breaker (or
+// advances half-open→closed); a failure doubles the backoff. Probes
+// deliberately hit /v1/healthz — wait-free on the replica — so a
+// replica struggling under load is not further burdened by recovery
+// checks.
+func (r *Remote) probeOnce() {
+	timeout := r.cfg.ShardTimeout
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	for _, group := range r.groups {
+		for _, rep := range group {
+			state, quarantined, rate := rep.br.Snapshot()
+			if quarantined || (state == BreakerClosed && rate == 0) {
+				continue
+			}
+			if state != BreakerClosed {
+				ok, _ := rep.br.Allow()
+				if !ok {
+					continue // still inside backoff, or a trial is in flight
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			var h server.HealthResponse
+			err := r.getReplica(ctx, rep, "/v1/healthz", &h)
+			cancel()
+			if err != nil {
+				r.probeFailures.Add(1)
+				rep.br.OnFailure()
+				continue
+			}
+			rep.br.OnSuccess()
+		}
+	}
+}
 
 // ---- server.Engine: queries ----
 
-// Query answers one discovery query by scatter-gather over the
-// replicas, replicating the monolith contract (see Set.Query).
+// Query answers one discovery query by scatter-gather over the shard
+// groups, replicating the monolith contract (see Set.Query).
 func (r *Remote) Query(ctx context.Context, target *d3l.Table, opts ...d3l.QueryOption) (*d3l.Answer, error) {
 	sq, err := d3l.ResolveShardQuery(opts...)
 	if err != nil {
@@ -176,13 +470,13 @@ func (r *Remote) query(ctx context.Context, target *d3l.Table, sq *d3l.ShardQuer
 	return ans, nil
 }
 
-// search runs the two HTTP phases. Under PartialOK a shard that fails
-// its probe (after retries) is dropped from the query entirely; a
-// shard that probed but fails its gather is likewise dropped. Either
-// drop degrades the answer. With no live shard left the query fails
-// even under PartialOK.
+// search runs the two HTTP phases. Under PartialOK a shard group that
+// fails its probe (after per-replica failover and retries) is dropped
+// from the query entirely; a group that probed but fails its gather is
+// likewise dropped. Either drop degrades the answer. With no live
+// group left the query fails even under PartialOK.
 func (r *Remote) search(ctx context.Context, wire server.TableJSON, sq *d3l.ShardQuery) ([]d3l.Result, d3l.QueryStats, bool, error) {
-	n := len(r.urls)
+	n := len(r.groups)
 	probes := make([]*d3l.ShardProbe, n)
 	probeErrs := make([]error, n)
 	var wg sync.WaitGroup
@@ -206,7 +500,7 @@ func (r *Remote) search(ctx context.Context, wire server.TableJSON, sq *d3l.Shar
 	for i := 0; i < n; i++ {
 		if probeErrs[i] != nil {
 			if !sq.PartialOK {
-				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) probe: %w", i, r.urls[i], probeErrs[i])
+				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) probe: %w", i, r.groupLabel(i), probeErrs[i])
 			}
 			degraded = true
 			continue
@@ -241,7 +535,7 @@ func (r *Remote) search(ctx context.Context, wire server.TableJSON, sq *d3l.Shar
 	for gi, i := range live {
 		if gatherErrs[gi] != nil {
 			if !sq.PartialOK {
-				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) gather: %w", i, r.urls[i], gatherErrs[gi])
+				return nil, d3l.QueryStats{}, false, fmt.Errorf("shard %d (%s) gather: %w", i, r.groupLabel(i), gatherErrs[gi])
 			}
 			degraded = true
 			continue
@@ -258,7 +552,7 @@ func (r *Remote) search(ctx context.Context, wire server.TableJSON, sq *d3l.Shar
 	return results, stats, degraded, nil
 }
 
-// explain routes the explanation to the owning replica. Partial mode
+// explain routes the explanation to the owning group. Partial mode
 // never applies: an explanation from the wrong shard is not a
 // degraded answer, it is a 404.
 func (r *Remote) explain(ctx context.Context, wire server.TableJSON, sq *d3l.ShardQuery) ([]d3l.PairExplanation, error) {
@@ -266,7 +560,7 @@ func (r *Remote) explain(ctx context.Context, wire server.TableJSON, sq *d3l.Sha
 	var resp server.ShardExplainResponse
 	owner := r.place.Owner(sq.ExplainFor)
 	err := r.readJSON(ctx, owner, "/v1/shard/explain", req, &resp)
-	for i := 0; err != nil && isNotFound(err) && i < len(r.urls); i++ {
+	for i := 0; err != nil && isNotFound(err) && i < len(r.groups); i++ {
 		// Ring-owner miss (replica set built under a different
 		// placement): scan, as Set.liveOwner does.
 		if i == owner {
@@ -286,7 +580,7 @@ func (r *Remote) explain(ctx context.Context, wire server.TableJSON, sq *d3l.Sha
 }
 
 // QueryBatch runs targets sequentially: each query already fans out
-// across every replica.
+// across every shard group.
 func (r *Remote) QueryBatch(ctx context.Context, targets []*d3l.Table, opts ...d3l.QueryOption) ([]*d3l.Answer, error) {
 	sq, err := d3l.ResolveShardQuery(opts...)
 	if err != nil {
@@ -308,9 +602,22 @@ func (r *Remote) QueryBatch(ctx context.Context, targets []*d3l.Table, opts ...d
 
 // ---- server.Engine: mutations ----
 
-// Add routes the real Add to the ring owner and mirrors the id
-// consumption on every peer replica. Mutations are single-attempt —
-// a retry after an ambiguous network failure could double-apply.
+// Mutations and replica groups: every replica of every group must
+// apply every mutation, or its engine state silently diverges from
+// its siblings and the id lockstep that exactness rests on breaks.
+// Mutations are therefore applied to each non-quarantined replica of
+// the owner group (the real op) and of every peer group (the mirror
+// op), exactly once each — never retried, because a retry after an
+// ambiguous network failure could double-apply. A replica whose
+// attempt fails or answers out of lockstep is *quarantined*: its
+// breaker is forced open for the life of this Remote, so it can never
+// serve a stale answer; POST /v1/reload re-polls the replicas and
+// lifts quarantines by rebuilding coordinator state. The mutation as
+// a whole succeeds while at least one replica of every group applied
+// it, and fails closed otherwise.
+
+// Add routes the real Add to the ring-owner group and mirrors the id
+// consumption on every peer group.
 func (r *Remote) Add(t *d3l.Table) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("d3l: nil table")
@@ -319,29 +626,37 @@ func (r *Remote) Add(t *d3l.Table) (int, error) {
 	defer cancel()
 	owner := r.place.Owner(t.Name)
 	wire := tableToWire(t)
-	var resp server.AddTableResponse
-	if err := r.doJSON(ctx, owner, http.MethodPost, "/v1/tables", server.AddTableRequest{Table: wire}, &resp); err != nil {
+	id, err := r.applyGroup(ctx, owner, func(rep *replica) (int, error) {
+		var resp server.AddTableResponse
+		err := r.doReplica(ctx, rep, http.MethodPost, "/v1/tables", server.AddTableRequest{Table: wire}, &resp)
+		return resp.ID, err
+	})
+	if err != nil {
 		return 0, err
 	}
-	for i := range r.urls {
+	for i := range r.groups {
 		if i == owner {
 			continue
 		}
-		var mresp server.ShardMirrorResponse
 		mreq := server.ShardMirrorRequest{Op: "add", Name: t.Name, NumCols: len(t.Columns)}
-		if err := r.doJSON(ctx, i, http.MethodPost, "/v1/shard/mirror", mreq, &mresp); err != nil {
+		mid, err := r.applyGroup(ctx, i, func(rep *replica) (int, error) {
+			var mresp server.ShardMirrorResponse
+			err := r.doReplica(ctx, rep, http.MethodPost, "/v1/shard/mirror", mreq, &mresp)
+			return mresp.ID, err
+		})
+		if err != nil {
 			return 0, fmt.Errorf("shard %d: mirroring add of %q: %w", i, t.Name, err)
 		}
-		if mresp.ID != resp.ID {
-			return 0, fmt.Errorf("shard %d: mirror of %q got id %d, owner got %d (id lockstep broken)", i, t.Name, mresp.ID, resp.ID)
+		if mid != id {
+			return 0, fmt.Errorf("shard %d: mirror of %q got id %d, owner got %d (id lockstep broken)", i, t.Name, mid, id)
 		}
 	}
 	r.muts.Add(1)
-	return resp.ID, nil
+	return id, nil
 }
 
-// Update routes the in-place update to the owning replica, then
-// mirrors the fresh attribute-id consumption on the peers.
+// Update routes the in-place update to the owning group, then mirrors
+// the fresh attribute-id consumption on the peer groups.
 func (r *Remote) Update(t *d3l.Table) (d3l.UpdateStats, error) {
 	if t == nil {
 		return d3l.UpdateStats{}, fmt.Errorf("d3l: nil table")
@@ -351,17 +666,23 @@ func (r *Remote) Update(t *d3l.Table) (d3l.UpdateStats, error) {
 	wire := tableToWire(t)
 	var resp server.UpdateTableResponse
 	owner, err := r.mutateOwner(ctx, t.Name, func(i int) error {
-		return r.doJSON(ctx, i, http.MethodPut, "/v1/tables/"+pathEscape(t.Name), server.UpdateTableRequest{Table: wire}, &resp)
+		_, err := r.applyGroup(ctx, i, func(rep *replica) (int, error) {
+			err := r.doReplica(ctx, rep, http.MethodPut, "/v1/tables/"+pathEscape(t.Name), server.UpdateTableRequest{Table: wire}, &resp)
+			return resp.ID, err
+		})
+		return err
 	})
 	if err != nil {
 		return d3l.UpdateStats{}, err
 	}
-	for i := range r.urls {
+	for i := range r.groups {
 		if i == owner {
 			continue
 		}
 		mreq := server.ShardMirrorRequest{Op: "update", TableID: resp.ID, NumFresh: resp.ReprofiledCols}
-		if err := r.doJSON(ctx, i, http.MethodPost, "/v1/shard/mirror", mreq, new(server.ShardMirrorResponse)); err != nil {
+		if _, err := r.applyGroup(ctx, i, func(rep *replica) (int, error) {
+			return 0, r.doReplica(ctx, rep, http.MethodPost, "/v1/shard/mirror", mreq, new(server.ShardMirrorResponse))
+		}); err != nil {
 			return d3l.UpdateStats{}, fmt.Errorf("shard %d: mirroring update of %q: %w", i, t.Name, err)
 		}
 	}
@@ -375,13 +696,16 @@ func (r *Remote) Update(t *d3l.Table) (d3l.UpdateStats, error) {
 	}, nil
 }
 
-// Remove tombstones the table on its owning replica. Peers hold dead
+// Remove tombstones the table on its owning group. Peers hold dead
 // mirror slots; no mirror op is needed.
 func (r *Remote) Remove(name string) error {
 	ctx, cancel := r.mutationCtx()
 	defer cancel()
 	_, err := r.mutateOwner(ctx, name, func(i int) error {
-		return r.doJSON(ctx, i, http.MethodDelete, "/v1/tables/"+pathEscape(name), nil, new(server.RemoveTableResponse))
+		_, err := r.applyGroup(ctx, i, func(rep *replica) (int, error) {
+			return 0, r.doReplica(ctx, rep, http.MethodDelete, "/v1/tables/"+pathEscape(name), nil, new(server.RemoveTableResponse))
+		})
+		return err
 	})
 	if err != nil {
 		return err
@@ -390,8 +714,55 @@ func (r *Remote) Remove(name string) error {
 	return nil
 }
 
-// mutateOwner applies fn to the ring owner first, scanning the other
-// replicas only on a not-found answer (placement drift insurance).
+// applyGroup applies one mutation to every non-quarantined replica of
+// a group, single-attempt each, and returns the id the first
+// successful replica answered. Divergent replicas (transient failure:
+// the op may or may not have landed; terminal failure or id mismatch
+// after a sibling already applied: the op definitely diverged) are
+// quarantined. A terminal error from the group's *first* attempted
+// replica propagates — nothing was applied anywhere yet, so the group
+// is still consistent (this is how not-found reaches mutateOwner's
+// placement-drift scan). Fails closed when no replica applied.
+func (r *Remote) applyGroup(ctx context.Context, shard int, fn func(rep *replica) (int, error)) (int, error) {
+	applied := false
+	id := 0
+	var lastErr error
+	for _, rep := range r.groups[shard] {
+		if _, quarantined, _ := rep.br.Snapshot(); quarantined {
+			continue
+		}
+		gotID, err := fn(rep)
+		if err == nil {
+			if !applied {
+				applied, id = true, gotID
+			} else if gotID != id {
+				rep.br.ForceOpen(fmt.Sprintf("mutation id lockstep broken: got %d, group got %d", gotID, id))
+			}
+			continue
+		}
+		var se *shardError
+		if errors.As(err, &se) && se.terminal {
+			if !applied {
+				return 0, err
+			}
+			rep.br.ForceOpen("mutation rejected after a sibling applied it: " + err.Error())
+			continue
+		}
+		lastErr = err
+		rep.br.ForceOpen("mutation outcome ambiguous: " + err.Error())
+	}
+	if !applied {
+		if lastErr != nil {
+			return 0, fmt.Errorf("shard %d (%s): no replica applied the mutation; last: %w", shard, r.groupLabel(shard), lastErr)
+		}
+		return 0, fmt.Errorf("%w: shard %d (%s): no replica available for the mutation", errGroupDown, shard, r.groupLabel(shard))
+	}
+	return id, nil
+}
+
+// mutateOwner applies fn to the ring-owner group first, scanning the
+// other groups only on a not-found answer (placement drift
+// insurance).
 func (r *Remote) mutateOwner(ctx context.Context, name string, fn func(i int) error) (int, error) {
 	owner := r.place.Owner(name)
 	err := fn(owner)
@@ -401,7 +772,7 @@ func (r *Remote) mutateOwner(ctx context.Context, name string, fn func(i int) er
 	if !isNotFound(err) {
 		return 0, err
 	}
-	for i := range r.urls {
+	for i := range r.groups {
 		if i == owner {
 			continue
 		}
@@ -417,21 +788,21 @@ func (r *Remote) mutateOwner(ctx context.Context, name string, fn func(i int) er
 
 func (r *Remote) mutationCtx() (context.Context, context.CancelFunc) {
 	// One generous deadline for the whole owner+mirrors fan-out.
-	return context.WithTimeout(context.Background(), time.Duration(len(r.urls)+1)*r.cfg.ShardTimeout)
+	return context.WithTimeout(context.Background(), time.Duration(r.NumReplicas()+1)*r.cfg.ShardTimeout)
 }
 
 // ---- server.Engine: introspection ----
 
-// Tables lists the union of the replicas' live tables, sorted.
-// Fail-closed: an unreachable replica makes the listing fail rather
-// than silently shrink.
+// Tables lists the union of the groups' live tables, sorted.
+// Fail-closed: a shard group with no answering replica makes the
+// listing fail rather than silently shrink.
 func (r *Remote) Tables() []string {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
 	defer cancel()
 	var names []string
-	for i := range r.urls {
+	for i := range r.groups {
 		var resp server.TablesResponse
-		if err := r.getJSON(ctx, i, "/v1/tables", &resp); err != nil {
+		if err := r.getShard(ctx, i, "/v1/tables", &resp); err != nil {
 			return nil
 		}
 		names = append(names, resp.Tables...)
@@ -440,21 +811,21 @@ func (r *Remote) Tables() []string {
 	return names
 }
 
-// HasTable asks the ring owner for its live listing, scanning on a
-// miss.
+// HasTable asks the ring-owner group for its live listing, scanning
+// on a miss.
 func (r *Remote) HasTable(name string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
 	defer cancel()
 	owner := r.place.Owner(name)
 	order := []int{owner}
-	for i := range r.urls {
+	for i := range r.groups {
 		if i != owner {
 			order = append(order, i)
 		}
 	}
 	for _, i := range order {
 		var resp server.TablesResponse
-		if err := r.getJSON(ctx, i, "/v1/tables", &resp); err != nil {
+		if err := r.getShard(ctx, i, "/v1/tables", &resp); err != nil {
 			continue
 		}
 		for _, n := range resp.Tables {
@@ -466,24 +837,24 @@ func (r *Remote) HasTable(name string) bool {
 	return false
 }
 
-// Fingerprint folds the construction-time replica fingerprints with
-// the coordinator's own mutation count, so the serving cache
-// invalidates on every mutation routed through here. Out-of-band
-// replica changes require POST /v1/reload on the coordinator (which
-// rebuilds the Remote and re-polls).
+// Fingerprint folds the construction-time shard fingerprints with the
+// coordinator's own mutation count, so the serving cache invalidates
+// on every mutation routed through here. Out-of-band replica changes
+// require POST /v1/reload on the coordinator (which rebuilds the
+// Remote and re-polls).
 func (r *Remote) Fingerprint() uint64 {
 	const prime = 1099511628211
 	return (r.baseFP ^ r.muts.Load()) * prime
 }
 
-// NumTables reports shard 0's table-slot count (id lockstep makes all
-// replicas equal); 0 if unreachable.
+// NumTables reports shard group 0's table-slot count (id lockstep
+// makes all groups equal); 0 if unreachable.
 func (r *Remote) NumTables() int {
 	t, _ := r.statsz(0)
 	return t
 }
 
-// NumAttributes reports shard 0's attribute-slot count; 0 if
+// NumAttributes reports shard group 0's attribute-slot count; 0 if
 // unreachable.
 func (r *Remote) NumAttributes() int {
 	_, a := r.statsz(0)
@@ -494,7 +865,7 @@ func (r *Remote) statsz(i int) (tables, attrs int) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
 	defer cancel()
 	var resp server.StatsResponse
-	if err := r.getJSON(ctx, i, "/v1/statsz", &resp); err != nil {
+	if err := r.getShard(ctx, i, "/v1/statsz", &resp); err != nil {
 		return 0, 0
 	}
 	return resp.Tables, resp.Attributes
@@ -528,73 +899,168 @@ func isNotFound(err error) bool {
 
 func pathEscape(s string) string { return url.PathEscape(s) }
 
-// readJSON POSTs a read-path request with retry and optional hedging:
-// the first successful attempt wins, terminal errors return
-// immediately, and exhausted attempts return the last error.
+// readJSON POSTs a read-path request with per-replica failover,
+// jittered-backoff retries and cross-replica hedging: the first
+// successful attempt wins, terminal errors return immediately, and
+// exhausted attempts return the last error. The retry budget is
+// capped by the request deadline: a retry whose backoff would outlive
+// ctx is not attempted.
 func (r *Remote) readJSON(ctx context.Context, shard int, path string, in, out any) error {
-	attempts := 1 + r.cfg.Retries
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
+	attempts := 1 + r.cfg.Retries
+	delay := r.cfg.RetryDelay
+	var lastErr error
+	var lastRep *replica
+	for a := 0; a < attempts; a++ {
+		if a > 0 && delay > 0 {
+			d := jitterDuration(delay, 0.5, r.rnd)
+			if deadline, ok := ctx.Deadline(); ok && time.Now().Add(d).After(deadline) {
+				return lastErr // retry budget exhausted by the deadline
+			}
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+			if delay *= 2; delay > maxRetryDelay {
+				delay = maxRetryDelay
+			}
+		}
+		rep, probe, pickErr := r.pick(shard, nil)
+		if pickErr != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return pickErr
+		}
+		if lastRep != nil && rep != lastRep {
+			r.failovers.Add(1)
+		}
+		data, err := r.attempt(ctx, rep, probe, path, body)
+		if err == nil {
+			return json.Unmarshal(data, out)
+		}
+		lastErr, lastRep = err, rep
+		var se *shardError
+		if errors.As(err, &se) && se.terminal {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt races one request against an optional hedge on a *different*
+// replica of the same group. Losing attempts run to completion in the
+// background (their outcome still feeds their replica's breaker); the
+// channel is buffered so they never leak.
+func (r *Remote) attempt(ctx context.Context, primary *replica, primaryProbe bool, path string, body []byte) ([]byte, error) {
 	type result struct {
 		data []byte
 		err  error
+		rep  *replica
 	}
-	ch := make(chan result, attempts)
-	launched := 0
-	launch := func() {
-		launched++
+	ch := make(chan result, 2)
+	run := func(rep *replica) {
 		go func() {
-			data, err := r.doOnce(ctx, shard, http.MethodPost, path, body)
-			ch <- result{data, err}
+			data, err := r.doOnce(ctx, rep, http.MethodPost, path, body)
+			r.record(ctx, rep, err)
+			ch <- result{data, err, rep}
 		}()
 	}
-	launch()
+	_ = primaryProbe // the breaker tracks its own trial slot; outcome reporting is uniform
+	run(primary)
 	var hedgeC <-chan time.Time
-	var hedge *time.Timer
 	if r.cfg.HedgeAfter > 0 {
-		hedge = time.NewTimer(r.cfg.HedgeAfter)
-		defer hedge.Stop()
-		hedgeC = hedge.C
+		timer := time.NewTimer(r.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
 	}
-	done := 0
-	var lastErr error
+	outstanding := 1
+	var hedged *replica
+	var firstErr error
 	for {
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		case <-hedgeC:
-			if launched < attempts {
-				launch()
-				hedge.Reset(r.cfg.HedgeAfter)
+			hedgeC = nil
+			// The hedge goes to a sibling: duplicating onto the
+			// replica that is already slow only doubles its load.
+			if rep, _, err := r.pick(primary.shard, primary); err == nil {
+				hedged = rep
+				outstanding++
+				run(rep)
 			}
 		case res := <-ch:
-			done++
+			outstanding--
 			if res.err == nil {
-				return json.Unmarshal(res.data, out)
+				if res.rep == hedged {
+					r.hedgeWins.Add(1)
+				}
+				return res.data, nil
 			}
-			lastErr = res.err
 			var se *shardError
 			if errors.As(res.err, &se) && se.terminal {
-				return res.err
+				return nil, res.err
 			}
-			if launched < attempts {
-				launch()
-				if hedge != nil {
-					hedge.Reset(r.cfg.HedgeAfter)
-				}
-				continue
+			if firstErr == nil {
+				firstErr = res.err
 			}
-			if done == launched {
-				return lastErr
+			if outstanding == 0 {
+				return nil, firstErr
 			}
 		}
 	}
 }
 
-// doJSON runs one single-attempt request (mutations).
-func (r *Remote) doJSON(ctx context.Context, shard int, method, path string, in, out any) error {
+// getShard runs one GET against a shard group (health, stats,
+// listings), failing over across replicas without retry delays.
+func (r *Remote) getShard(ctx context.Context, shard int, path string, out any) error {
+	var lastErr error
+	var lastRep *replica
+	for range r.groups[shard] {
+		rep, _, err := r.pick(shard, lastRep)
+		if err != nil {
+			break
+		}
+		data, err := r.doOnce(ctx, rep, http.MethodGet, path, nil)
+		r.record(ctx, rep, err)
+		if err == nil {
+			return json.Unmarshal(data, out)
+		}
+		if lastRep != nil {
+			r.failovers.Add(1)
+		}
+		lastErr, lastRep = err, rep
+		var se *shardError
+		if errors.As(err, &se) && se.terminal {
+			return err
+		}
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	return fmt.Errorf("%w: shard %d (%s)", errGroupDown, shard, r.groupLabel(shard))
+}
+
+// getReplica runs one GET against one specific replica (construction
+// health polls, active probes) without touching its breaker.
+func (r *Remote) getReplica(ctx context.Context, rep *replica, path string, out any) error {
+	data, err := r.doOnce(ctx, rep, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+// doReplica runs one single-attempt request against one specific
+// replica (mutations).
+func (r *Remote) doReplica(ctx context.Context, rep *replica, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -602,16 +1068,7 @@ func (r *Remote) doJSON(ctx context.Context, shard int, method, path string, in,
 			return err
 		}
 	}
-	data, err := r.doOnce(ctx, shard, method, path, body)
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(data, out)
-}
-
-// getJSON runs one GET (health, stats, listings).
-func (r *Remote) getJSON(ctx context.Context, shard int, path string, out any) error {
-	data, err := r.doOnce(ctx, shard, http.MethodGet, path, nil)
+	data, err := r.doOnce(ctx, rep, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -622,14 +1079,14 @@ func (r *Remote) getJSON(ctx context.Context, shard int, path string, out any) e
 // maps replica error bodies back to the library's sentinel errors, so
 // the coordinator's own HTTP layer re-maps them to the same status
 // codes a monolith would answer.
-func (r *Remote) doOnce(ctx context.Context, shard int, method, path string, body []byte) ([]byte, error) {
+func (r *Remote) doOnce(ctx context.Context, rep *replica, method, path string, body []byte) ([]byte, error) {
 	actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, r.urls[shard]+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, rep.url+path, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -653,7 +1110,7 @@ func (r *Remote) doOnce(ctx context.Context, shard int, method, path string, bod
 	if err := json.Unmarshal(data, &eb); err == nil && eb.Error.Message != "" {
 		msg = eb.Error.Message
 	}
-	mapped := fmt.Errorf("shard %s: %s %s: %s", r.urls[shard], method, path, msg)
+	mapped := fmt.Errorf("shard %s: %s %s: %s", rep.url, method, path, msg)
 	switch eb.Error.Code {
 	case server.CodeNotFound:
 		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrTableNotFound, msg), terminal: true}
@@ -665,7 +1122,7 @@ func (r *Remote) doOnce(ctx context.Context, shard int, method, path string, bod
 		return nil, &shardError{err: fmt.Errorf("%w: %s", d3l.ErrUnsupported, msg), terminal: true}
 	}
 	// Overload, timeout, draining, internal: transient from the
-	// coordinator's seat — retryable.
+	// coordinator's seat — retryable on a sibling replica.
 	return nil, &shardError{err: fmt.Errorf("%s (status %d)", mapped, resp.StatusCode), terminal: false}
 }
 

@@ -51,6 +51,7 @@ func buildRemoteWorld(t *testing.T, seed uint64, n int, cfg RemoteConfig) *remot
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { remote.Close() })
 	return &remoteWorld{lake: lake, mono: mono, set: set, replicas: replicas, remote: remote}
 }
 
